@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig9", "-trials", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Fig. 9", "SPARCLE", "T-Storm", "note:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Fig. 11") {
+		t.Fatal("other experiments must not run")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "FIG11", "-trials", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 11") {
+		t.Fatal("case-insensitive experiment selection failed")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all experiments take a few seconds")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-trials", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Fig. 6", "Fig. 8", "Fig. 9", "Fig. 10(a)", "Fig. 10(b)", "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig9", "-trials", "5", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var result map[string]interface{}
+	if err := json.Unmarshal(out.Bytes(), &result); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if _, ok := result["fig9"]; !ok {
+		t.Fatalf("missing fig9 key: %v", result)
+	}
+}

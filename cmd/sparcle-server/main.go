@@ -1,0 +1,97 @@
+// Command sparcle-server runs the SPARCLE scheduler as a long-lived HTTP
+// control plane over the network of a scenario file: applications are
+// then submitted, inspected, repaired and withdrawn through the JSON API
+// of internal/server, and capacity fluctuations can be pushed in by
+// monitoring.
+//
+// Usage:
+//
+//	sparcle-server -f scenario.json [-addr :8080] [-submit]
+//
+// With -submit, the scenario's applications are admitted at startup.
+//
+// API summary (see internal/server for details):
+//
+//	GET    /healthz
+//	GET    /network
+//	GET    /apps
+//	POST   /apps                  body: one scenario app spec
+//	DELETE /apps/{name}
+//	POST   /apps/{name}/repair
+//	POST   /fluctuation           body: {"scale": {"ncp:<name>": 0.5}}
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"sparcle/internal/core"
+	"sparcle/internal/scenario"
+	"sparcle/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sparcle-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server; if ready is non-nil the bound address is sent on
+// it once listening (used by tests).
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sparcle-server", flag.ContinueOnError)
+	file := fs.String("f", "", "scenario JSON file defining the network (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	submit := fs.Bool("submit", false, "admit the scenario's applications at startup")
+	seed := fs.Int64("seed", 1, "scheduler random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return errors.New("missing -f scenario file")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	f, err := scenario.Parse(data)
+	if err != nil {
+		return err
+	}
+	netw, err := f.BuildNetwork()
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(netw, core.WithRandSeed(*seed))
+	if *submit {
+		apps, err := f.BuildApps(netw)
+		if err != nil {
+			return err
+		}
+		if err := srv.SubmitAll(apps, out); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sparcle-server listening on %s (%s, %d NCPs, %d links)\n",
+		ln.Addr(), netw.Name(), netw.NumNCPs(), netw.NumLinks())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sparcle/internal/scenario"
+)
+
+func writeExample(t *testing.T) string {
+	t.Helper()
+	data, err := scenario.Example().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServerServesScenario(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-f", writeExample(t), "-addr", "127.0.0.1:0", "-submit"}, &out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var apps []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&apps); err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || apps[0]["name"] != "face-detection" {
+		t.Fatalf("apps = %+v", apps)
+	}
+	if !strings.Contains(out.String(), "admitted \"face-detection\"") {
+		t.Fatalf("startup log missing admission: %s", out.String())
+	}
+
+	resp2, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp2.StatusCode)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out, nil); err == nil {
+		t.Fatal("missing -f must error")
+	}
+	if err := run([]string{"-f", "/nope.json"}, &out, nil); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", bad}, &out, nil); err == nil {
+		t.Fatal("invalid scenario must error")
+	}
+	if err := run([]string{"-f", writeExample(t), "-addr", "256.0.0.1:99999"}, &out, nil); err == nil {
+		t.Fatal("bad address must error")
+	}
+}

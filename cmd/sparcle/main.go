@@ -1,0 +1,198 @@
+// Command sparcle schedules the stream processing applications of a JSON
+// scenario file onto its dispersed computing network with the SPARCLE
+// scheduler and reports, per application, the task assignment paths,
+// allocated rates and achieved availability.
+//
+// Usage:
+//
+//	sparcle -f scenario.json [-json] [-seed S]
+//	sparcle -example > scenario.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"sparcle/internal/assign"
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/scenario"
+	"sparcle/internal/taskgraph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sparcle:", err)
+		os.Exit(1)
+	}
+}
+
+// appResult is the JSON output per application.
+type appResult struct {
+	Name         string       `json:"name"`
+	Admitted     bool         `json:"admitted"`
+	Reason       string       `json:"reason,omitempty"`
+	TotalRate    float64      `json:"totalRate,omitempty"`
+	Availability float64      `json:"availability,omitempty"`
+	Paths        []pathResult `json:"paths,omitempty"`
+}
+
+type pathResult struct {
+	Rate  float64           `json:"rate"`
+	Hosts map[string]string `json:"hosts"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sparcle", flag.ContinueOnError)
+	file := fs.String("f", "", "scenario JSON file (required unless -example)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	seed := fs.Int64("seed", 1, "random seed for availability estimation fallback")
+	example := fs.Bool("example", false, "print an example scenario and exit")
+	explain := fs.Bool("explain", false, "print each dynamic-ranking placement decision")
+	dot := fs.String("dot", "", "write the first path of each admitted app as Graphviz DOT to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		data, err := scenario.Example().Encode()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, string(data))
+		return err
+	}
+	if *file == "" {
+		return errors.New("missing -f scenario file (or use -example)")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	f, err := scenario.Parse(data)
+	if err != nil {
+		return err
+	}
+	net, err := f.BuildNetwork()
+	if err != nil {
+		return err
+	}
+	apps, err := f.BuildApps(net)
+	if err != nil {
+		return err
+	}
+
+	opts := []core.Option{core.WithRandSeed(*seed)}
+	if *explain {
+		opts = append(opts, core.WithAlgorithm(explainingAlgorithm(out)))
+	}
+	sched := core.New(net, opts...)
+	results := make([]appResult, 0, len(apps))
+	for _, app := range apps {
+		if *explain {
+			fmt.Fprintf(out, "-- placing %q --\n", app.Name)
+		}
+		pa, err := sched.Submit(app)
+		if err != nil {
+			if errors.Is(err, core.ErrRejected) {
+				results = append(results, appResult{Name: app.Name, Admitted: false, Reason: err.Error()})
+				continue
+			}
+			return fmt.Errorf("app %q: %w", app.Name, err)
+		}
+		results = append(results, describe(pa, net))
+	}
+	// Rates of earlier BE apps change as later apps arrive: refresh.
+	for i := range results {
+		for _, pa := range append(sched.BEApps(), sched.GRApps()...) {
+			if pa.App.Name == results[i].Name {
+				results[i] = describe(pa, net)
+			}
+		}
+	}
+
+	if *dot != "" {
+		if err := writeDOT(*dot, sched); err != nil {
+			return err
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	for _, r := range results {
+		if !r.Admitted {
+			fmt.Fprintf(out, "%-20s REJECTED: %s\n", r.Name, r.Reason)
+			continue
+		}
+		fmt.Fprintf(out, "%-20s rate=%.4f/s availability=%.4f paths=%d\n", r.Name, r.TotalRate, r.Availability, len(r.Paths))
+		for i, p := range r.Paths {
+			fmt.Fprintf(out, "  path %d (rate %.4f):", i+1, p.Rate)
+			for _, ct := range sortedKeys(p.Hosts) {
+				fmt.Fprintf(out, " %s->%s", ct, p.Hosts[ct])
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+func describe(pa *core.PlacedApp, net *network.Network) appResult {
+	r := appResult{
+		Name:         pa.App.Name,
+		Admitted:     true,
+		TotalRate:    pa.TotalRate(),
+		Availability: pa.Availability,
+	}
+	for _, path := range pa.Paths {
+		hosts := map[string]string{}
+		for ct := 0; ct < pa.App.Graph.NumCTs(); ct++ {
+			id := taskgraph.CTID(ct)
+			hosts[pa.App.Graph.CT(id).Name] = net.NCP(path.P.Host(id)).Name
+		}
+		r.Paths = append(r.Paths, pathResult{Rate: path.Rate, Hosts: hosts})
+	}
+	return r
+}
+
+// explainingAlgorithm wraps SPARCLE's dynamic ranking with an observer
+// that prints every placement decision.
+func explainingAlgorithm(out io.Writer) placement.Algorithm {
+	return assign.Sparcle{Observer: func(d assign.Decision) {
+		if d.Pinned {
+			fmt.Fprintf(out, "  step %d: %s pinned to %s\n", d.Step, d.CTName, d.HostName)
+			return
+		}
+		fmt.Fprintf(out, "  step %d: %s -> %s (gamma %.4f)\n", d.Step, d.CTName, d.HostName, d.Gamma)
+	}}
+}
+
+// writeDOT renders the first path of every admitted application into one
+// DOT file (multiple digraphs, one per app).
+func writeDOT(path string, sched *core.Scheduler) error {
+	var b strings.Builder
+	for _, pa := range append(sched.GRApps(), sched.BEApps()...) {
+		if len(pa.Paths) > 0 {
+			b.WriteString(pa.Paths[0].P.DOT())
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// sortedKeys returns the map's keys in sorted order for stable output.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

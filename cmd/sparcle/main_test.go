@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparcle/internal/scenario"
+)
+
+func writeExample(t *testing.T) string {
+	t.Helper()
+	data, err := scenario.Example().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", writeExample(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"face-detection", "rate=", "path 1", "camera->ncp1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", writeExample(t), "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []appResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 || !results[0].Admitted {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].TotalRate <= 0 || len(results[0].Paths) == 0 {
+		t.Fatalf("result incomplete: %+v", results[0])
+	}
+	if results[0].Paths[0].Hosts["camera"] != "ncp1" {
+		t.Fatalf("pinned camera host = %q", results[0].Paths[0].Hosts["camera"])
+	}
+}
+
+func TestRunExampleFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Parse(out.Bytes()); err != nil {
+		t.Fatalf("emitted example does not parse: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -f must error")
+	}
+	if err := run([]string{"-f", "/nonexistent/file.json"}, &out); err == nil {
+		t.Fatal("unreadable file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", bad}, &out); err == nil {
+		t.Fatal("invalid scenario must error")
+	}
+}
+
+func TestRejectedAppReported(t *testing.T) {
+	f := scenario.Example()
+	// Demand an impossible guaranteed rate.
+	f.Apps[0].QoS = scenario.QoSSpec{Class: "guaranteed-rate", MinRate: 1e9, MinRateAvailability: 0.99}
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "reject.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-f", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "REJECTED") {
+		t.Fatalf("output missing rejection:\n%s", out.String())
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", writeExample(t), "-explain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"placing", "pinned to", "gamma"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDOTFlag(t *testing.T) {
+	var out bytes.Buffer
+	dotPath := filepath.Join(t.TempDir(), "out.dot")
+	if err := run([]string{"-f", writeExample(t), "-dot", dotPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph placement") {
+		t.Fatalf("DOT file content wrong:\n%s", data)
+	}
+}

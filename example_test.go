@@ -1,0 +1,112 @@
+package sparcle_test
+
+import (
+	"fmt"
+	"log"
+
+	"sparcle"
+)
+
+// ExampleNewScheduler schedules one best-effort application on a tiny
+// edge network and prints its allocated rate.
+func ExampleNewScheduler() {
+	nb := sparcle.NewNetworkBuilder("edge")
+	sensor := nb.AddNCP("sensor", nil, 0)
+	worker := nb.AddNCP("worker", sparcle.Resources{sparcle.CPU: 1000}, 0)
+	gateway := nb.AddNCP("gateway", nil, 0)
+	nb.AddLink("s-w", sensor, worker, 100, 0)
+	nb.AddLink("w-g", worker, gateway, 100, 0)
+	net, err := nb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := sparcle.NewTaskGraphBuilder("telemetry")
+	src := tb.AddCT("source", nil)
+	filter := tb.AddCT("filter", sparcle.Resources{sparcle.CPU: 100})
+	sink := tb.AddCT("deliver", nil)
+	tb.AddTT("raw", src, filter, 10)
+	tb.AddTT("out", filter, sink, 1)
+	graph, err := tb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sched := sparcle.NewScheduler(net)
+	placed, err := sched.Submit(sparcle.App{
+		Name:  "telemetry",
+		Graph: graph,
+		Pins:  sparcle.Pins{src: sensor, sink: gateway},
+		QoS:   sparcle.QoS{Class: sparcle.BestEffort, Priority: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rate %.0f data units/s on %d path(s)\n", placed.TotalRate(), len(placed.Paths))
+	// Output: rate 10 data units/s on 1 path(s)
+}
+
+// ExampleAssignOnce runs a single task assignment directly, without the
+// multi-application scheduler.
+func ExampleAssignOnce() {
+	nb := sparcle.NewNetworkBuilder("pair")
+	a := nb.AddNCP("a", nil, 0)
+	b := nb.AddNCP("b", sparcle.Resources{sparcle.CPU: 50}, 0)
+	nb.AddLink("ab", a, b, 100, 0)
+	net, err := nb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := sparcle.NewTaskGraphBuilder("one-step")
+	src := tb.AddCT("src", nil)
+	work := tb.AddCT("work", sparcle.Resources{sparcle.CPU: 10})
+	tb.AddTT("move", src, work, 5)
+	graph, err := tb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, rate, err := sparcle.AssignOnce(graph, sparcle.Pins{src: a, work: b}, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bottleneck rate %.0f/s\n", rate)
+	// Output: bottleneck rate 5/s
+}
+
+// ExampleScheduler_ApplyFluctuation degrades an element and shows the
+// re-solved best-effort rate.
+func ExampleScheduler_ApplyFluctuation() {
+	nb := sparcle.NewNetworkBuilder("edge")
+	src := nb.AddNCP("src", nil, 0)
+	w := nb.AddNCP("w", sparcle.Resources{sparcle.CPU: 100}, 0)
+	snk := nb.AddNCP("snk", nil, 0)
+	nb.AddLink("a", src, w, 1e6, 0)
+	nb.AddLink("b", w, snk, 1e6, 0)
+	net, err := nb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := sparcle.NewTaskGraphBuilder("app")
+	s := tb.AddCT("s", nil)
+	work := tb.AddCT("w", sparcle.Resources{sparcle.CPU: 10})
+	k := tb.AddCT("k", nil)
+	tb.AddTT("in", s, work, 1)
+	tb.AddTT("out", work, k, 1)
+	graph, err := tb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := sparcle.NewScheduler(net)
+	if _, err := sched.Submit(sparcle.App{
+		Name: "app", Graph: graph, Pins: sparcle.Pins{s: src, k: snk},
+		QoS: sparcle.QoS{Class: sparcle.BestEffort, Priority: 1},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sched.ApplyFluctuation(sparcle.ElementScale{sparcle.NCPElementOf(w): 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rate after degradation: %.0f/s\n", rep.BERates["app"])
+	// Output: rate after degradation: 5/s
+}

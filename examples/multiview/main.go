@@ -1,0 +1,95 @@
+// Multi-viewpoint object classification — the paper's Fig. 1 application:
+// two cameras stream images from different angles into a shared object
+// detection task, whose outputs flow through classification to a result
+// consumer. The task graph has two sources, so SPARCLE must place the
+// detector where both raw streams can reach it, and the simulator's
+// fork/join machinery synchronizes the per-image inputs.
+//
+// Run with: go run ./examples/multiview
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/simnet"
+	"sparcle/internal/taskgraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two camera posts, two street cabinets with compute, an operations
+	// room. Megabits and megacycles per image.
+	nb := network.NewBuilder("intersection")
+	cam1 := nb.AddNCP("cam1", nil, 0)
+	cam2 := nb.AddNCP("cam2", nil, 0)
+	cab1 := nb.AddNCP("cabinet1", resource.Vector{resource.CPU: 6000}, 0)
+	cab2 := nb.AddNCP("cabinet2", resource.Vector{resource.CPU: 3000}, 0)
+	ops := nb.AddNCP("ops", nil, 0)
+	nb.AddLink("c1-k1", cam1, cab1, 30, 0)
+	nb.AddLink("c2-k2", cam2, cab2, 30, 0)
+	nb.AddLink("k1-k2", cab1, cab2, 60, 0)
+	nb.AddLink("k1-ops", cab1, ops, 40, 0)
+	nb.AddLink("k2-ops", cab2, ops, 40, 0)
+	net, err := nb.Build()
+	if err != nil {
+		return err
+	}
+
+	// Fig. 1: CT1/CT2 cameras, CT3 object detection fed by both, CT4
+	// classification, CT5 consumer.
+	tb := taskgraph.NewBuilder("object-classification")
+	camera1 := tb.AddCT("camera1", nil)
+	camera2 := tb.AddCT("camera2", nil)
+	detect := tb.AddCT("detect", resource.Vector{resource.CPU: 900})
+	classify := tb.AddCT("classify", resource.Vector{resource.CPU: 400})
+	consumer := tb.AddCT("consumer", nil)
+	tb.AddTT("raw1", camera1, detect, 12)
+	tb.AddTT("raw2", camera2, detect, 12)
+	tb.AddTT("objects", detect, classify, 1.5)
+	tb.AddTT("classes", classify, consumer, 0.1)
+	g, err := tb.Build()
+	if err != nil {
+		return err
+	}
+
+	sched := core.New(net)
+	pa, err := sched.Submit(core.App{
+		Name:  "object-classification",
+		Graph: g,
+		Pins:  placement.Pins{camera1: cam1, camera2: cam2, consumer: ops},
+		QoS:   core.QoS{Class: core.BestEffort, Priority: 1},
+	})
+	if err != nil {
+		return err
+	}
+	path := pa.Paths[0]
+	fmt.Printf("admitted at %.3f images/s\n", pa.TotalRate())
+	for _, ct := range []taskgraph.CTID{camera1, camera2, detect, classify, consumer} {
+		fmt.Printf("  %-10s -> %s\n", g.CT(ct).Name, net.NCP(path.P.Host(ct)).Name)
+	}
+
+	// Execute it: both cameras emit image n at the same instant; the
+	// detector joins the two views per image.
+	sim := simnet.New(net)
+	if err := sim.AddApp(path.P, path.Rate*0.9); err != nil {
+		return err
+	}
+	rep, err := sim.Run(simnet.Config{Duration: 600, Warmup: 60})
+	if err != nil {
+		return err
+	}
+	st := rep.Apps[0]
+	fmt.Printf("simulated: %.3f images/s delivered (driving at %.3f), mean latency %.2fs\n",
+		st.Throughput, path.Rate*0.9, st.MeanLatency)
+	return nil
+}

@@ -1,0 +1,83 @@
+// Quickstart: build a small dispersed computing network and a linear
+// stream processing application, schedule it with SPARCLE, and print the
+// resulting task assignment and processing rate.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A four-node network: a sensor, two edge boxes with CPU, and a
+	// gateway where results are consumed. Bandwidths are in Mbps, CPU in
+	// MHz (= megacycles per second).
+	nb := network.NewBuilder("edge-site")
+	sensor := nb.AddNCP("sensor", nil, 0)
+	edge1 := nb.AddNCP("edge1", resource.Vector{resource.CPU: 2000}, 0)
+	edge2 := nb.AddNCP("edge2", resource.Vector{resource.CPU: 1200}, 0)
+	gateway := nb.AddNCP("gateway", nil, 0)
+	nb.AddLink("s-e1", sensor, edge1, 50, 0)
+	nb.AddLink("e1-e2", edge1, edge2, 100, 0)
+	nb.AddLink("e2-g", edge2, gateway, 50, 0)
+	nb.AddLink("s-e2", sensor, edge2, 20, 0)
+	net, err := nb.Build()
+	if err != nil {
+		return err
+	}
+
+	// The application: sensor readings are filtered, then aggregated,
+	// then delivered. Requirements are per data unit (megacycles and
+	// megabits).
+	tb := taskgraph.NewBuilder("telemetry")
+	src := tb.AddCT("source", nil)
+	filter := tb.AddCT("filter", resource.Vector{resource.CPU: 120})
+	agg := tb.AddCT("aggregate", resource.Vector{resource.CPU: 300})
+	sink := tb.AddCT("deliver", nil)
+	tb.AddTT("raw", src, filter, 8)
+	tb.AddTT("filtered", filter, agg, 2)
+	tb.AddTT("summary", agg, sink, 0.5)
+	graph, err := tb.Build()
+	if err != nil {
+		return err
+	}
+
+	// Schedule it as a best-effort application. Sources and sinks are
+	// pinned to where the data lives.
+	sched := core.New(net)
+	app := core.App{
+		Name:  "telemetry",
+		Graph: graph,
+		Pins:  placement.Pins{src: sensor, sink: gateway},
+		QoS:   core.QoS{Class: core.BestEffort, Priority: 1},
+	}
+	pa, err := sched.Submit(app)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("admitted %q at %.3f data units/s (availability %.3f)\n",
+		pa.App.Name, pa.TotalRate(), pa.Availability)
+	for i, path := range pa.Paths {
+		fmt.Printf("path %d, rate %.3f/s:\n", i+1, path.Rate)
+		for ct := 0; ct < graph.NumCTs(); ct++ {
+			id := taskgraph.CTID(ct)
+			fmt.Printf("  %-10s -> %s\n", graph.CT(id).Name, net.NCP(path.P.Host(id)).Name)
+		}
+	}
+	return nil
+}

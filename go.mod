@@ -1,0 +1,3 @@
+module sparcle
+
+go 1.22

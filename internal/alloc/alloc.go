@@ -1,0 +1,294 @@
+// Package alloc solves SPARCLE's resource allocation problem (4):
+//
+//	maximize   sum_i P_i log(x_i)   subject to   R X <= C
+//
+// the weighted proportional-fair rate allocation across the task assignment
+// paths of all Best-Effort applications sharing the computing network. Each
+// path is a flow whose per-unit load on every NCP resource and link forms
+// one column of R; capacities C are whatever remains after Guaranteed-Rate
+// reservations.
+//
+// The solver works on the dual (Kelly-style congestion pricing): at prices
+// λ the utility-maximizing rate of flow f is w_f / Σ_j λ_j R_{jf}. The
+// dual function is smooth and convex, so exact cyclic coordinate descent —
+// for each constraint, bisect its price until the constraint's demand
+// equals capacity or the price hits zero — converges to the optimum. The
+// final rates are scaled into the feasible region to absorb the last
+// floating-point slack, so the returned rates always satisfy R X <= C.
+//
+// The package also implements the Theorem 3 capacity prediction (eq. (6)):
+// before placing a new BE application, every element's capacity is scaled
+// by the app's priority share against the priorities already placed there,
+// which is what makes task assignment approximately arrival-order
+// independent.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+)
+
+// Flow is one task-assignment path participating in the allocation, with
+// the priority weight of its application.
+type Flow struct {
+	Weight float64
+	Path   *placement.Placement
+}
+
+// Options tunes the dual coordinate-descent solver. The zero value selects
+// defaults suitable for the experiment scales in this repository.
+type Options struct {
+	// Cycles bounds the number of full passes over the constraints
+	// (default 300); each pass bisects every price to machine precision.
+	Cycles int
+	// Tolerance is the relative price-change threshold that ends the
+	// descent early (default 1e-12).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles <= 0 {
+		o.Cycles = 300
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-12
+	}
+	return o
+}
+
+// ErrNoFlows is returned by Solve when called without flows.
+var ErrNoFlows = errors.New("alloc: no flows")
+
+// Solve returns the weighted proportional-fair rates of the flows under
+// the given capacities. A flow whose path crosses a zero-capacity element
+// receives rate 0; a flow with no load anywhere is rejected as unbounded.
+func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, error) {
+	opt = opt.withDefaults()
+	if len(flows) == 0 {
+		return nil, ErrNoFlows
+	}
+	for i, f := range flows {
+		if f.Weight <= 0 || math.IsNaN(f.Weight) {
+			return nil, fmt.Errorf("alloc: flow %d has invalid weight %v", i, f.Weight)
+		}
+	}
+	rows, boundable, err := buildRows(caps, flows)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(flows))
+	// Flows forced to zero by a zero-capacity element stay zero; the rest
+	// are optimized.
+	active := make([]bool, len(flows))
+	for f := range flows {
+		active[f] = boundable[f]
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("alloc: no capacity constraints bind any flow")
+	}
+
+	// denom[f] tracks Σ_j λ_j R_{jf} for every active flow, maintained
+	// incrementally as prices move.
+	prices := make([]float64, len(rows))
+	denom := make([]float64, len(flows))
+	for j, r := range rows {
+		// Start every price at the single-constraint optimum scale so the
+		// initial denominators are positive wherever demand exists.
+		wSum := 0.0
+		for f, coef := range r.coef {
+			if coef > 0 && active[f] {
+				wSum += flows[f].Weight
+			}
+		}
+		prices[j] = wSum / r.cap
+		for f, coef := range r.coef {
+			denom[f] += prices[j] * coef
+		}
+	}
+
+	// demandAt computes row j's demand when its price is lambda, holding
+	// every other price fixed.
+	demandAt := func(j int, lambda float64) float64 {
+		r := rows[j]
+		demand := 0.0
+		for f, coef := range r.coef {
+			if coef <= 0 || !active[f] {
+				continue
+			}
+			d := denom[f] - prices[j]*coef + lambda*coef
+			if d <= 0 {
+				return math.Inf(1)
+			}
+			demand += coef * flows[f].Weight / d
+		}
+		return demand
+	}
+
+	for cycle := 0; cycle < opt.Cycles; cycle++ {
+		maxRel := 0.0
+		for j, r := range rows {
+			var newPrice float64
+			if demandAt(j, 0) <= r.cap {
+				newPrice = 0 // constraint slack: complementary slackness
+			} else {
+				lo, hi := 0.0, math.Max(prices[j], 1e-12)
+				for demandAt(j, hi) > r.cap {
+					hi *= 2
+					if math.IsInf(hi, 1) {
+						return nil, errors.New("alloc: dual price diverged")
+					}
+				}
+				for k := 0; k < 100; k++ {
+					mid := (lo + hi) / 2
+					if demandAt(j, mid) > r.cap {
+						lo = mid
+					} else {
+						hi = mid
+					}
+				}
+				newPrice = hi
+			}
+			delta := newPrice - prices[j]
+			if delta != 0 {
+				rel := math.Abs(delta) / math.Max(newPrice, prices[j])
+				if rel > maxRel {
+					maxRel = rel
+				}
+				for f, coef := range r.coef {
+					denom[f] += delta * coef
+				}
+				prices[j] = newPrice
+			}
+		}
+		if maxRel < opt.Tolerance {
+			break
+		}
+	}
+
+	for f := range flows {
+		if !active[f] {
+			x[f] = 0
+			continue
+		}
+		if denom[f] <= 0 {
+			return nil, fmt.Errorf("alloc: flow %d has zero congestion price (unbounded)", f)
+		}
+		x[f] = flows[f].Weight / denom[f]
+	}
+	// Absorb residual floating-point slack: uniform scaling by the worst
+	// relative violation keeps the result exactly feasible.
+	scale := 1.0
+	for _, r := range rows {
+		demand := 0.0
+		for f, coef := range r.coef {
+			demand += coef * x[f]
+		}
+		if demand > r.cap {
+			if s := r.cap / demand; s < scale {
+				scale = s
+			}
+		}
+	}
+	if scale < 1 {
+		for f := range x {
+			x[f] *= scale
+		}
+	}
+	return x, nil
+}
+
+// Utility returns the objective of problem (4) at rates x:
+// sum_f Weight_f * log(x_f). A zero rate yields -Inf, matching the paper's
+// strict requirement that every admitted BE app receive a positive rate.
+func Utility(flows []Flow, x []float64) float64 {
+	u := 0.0
+	for f, flow := range flows {
+		u += flow.Weight * math.Log(x[f])
+	}
+	return u
+}
+
+type row struct {
+	cap  float64
+	coef []float64
+}
+
+// buildRows creates one constraint row per network element (and resource
+// kind) loaded by at least one flow. boundable[f] reports whether flow f
+// can receive a positive rate (false when it loads a zero-capacity
+// element).
+func buildRows(caps *network.Capacities, flows []Flow) (rows []row, boundable []bool, err error) {
+	boundable = make([]bool, len(flows))
+	hasLoad := make([]bool, len(flows))
+	for f := range boundable {
+		boundable[f] = true
+	}
+	// NCP rows per resource kind.
+	for v := range caps.NCP {
+		kinds := map[resource.Kind]bool{}
+		for f := range flows {
+			for k, a := range flows[f].Path.NCPLoad(network.NCPID(v)) {
+				if a > 0 {
+					kinds[k] = true
+				}
+			}
+		}
+		for k := range kinds {
+			r := row{cap: caps.NCP[v].Get(k), coef: make([]float64, len(flows))}
+			any := false
+			for f := range flows {
+				a := flows[f].Path.NCPLoad(network.NCPID(v)).Get(k)
+				r.coef[f] = a
+				if a > 0 {
+					any = true
+					hasLoad[f] = true
+					if r.cap <= 0 {
+						boundable[f] = false
+					}
+				}
+			}
+			if any && r.cap > 0 {
+				rows = append(rows, r)
+			}
+		}
+	}
+	// Link rows.
+	for l := range caps.Link {
+		r := row{cap: caps.Link[l], coef: make([]float64, len(flows))}
+		any := false
+		for f := range flows {
+			bits := flows[f].Path.LinkLoad(network.LinkID(l))
+			r.coef[f] = bits
+			if bits > 0 {
+				any = true
+				hasLoad[f] = true
+				if r.cap <= 0 {
+					boundable[f] = false
+				}
+			}
+		}
+		if any && r.cap > 0 {
+			rows = append(rows, r)
+		}
+	}
+	for f := range flows {
+		if !hasLoad[f] {
+			return nil, nil, fmt.Errorf("alloc: flow %d has no resource demand (unbounded rate)", f)
+		}
+	}
+	// Rows binding only zero-rate flows are irrelevant; rows mixing them
+	// with live flows keep the zero coefficient contribution (0*x = 0).
+	for f, ok := range boundable {
+		if !ok {
+			for j := range rows {
+				rows[j].coef[f] = 0
+			}
+		}
+	}
+	return rows, boundable, nil
+}

@@ -1,0 +1,152 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/taskgraph"
+)
+
+func TestMaxMinSingleBottleneck(t *testing.T) {
+	// One shared CPU: rates split by weight like PF, since a single
+	// constraint makes the two policies coincide on x_f = w_f * t.
+	net, links := line3(t, 100, 1e9)
+	f1 := pipelineFlow(t, net, 0, 1, 2, 10, 1, 1, []network.LinkID{links[0]}, []network.LinkID{links[1]})
+	f2 := pipelineFlow(t, net, 0, 1, 2, 10, 1, 3, []network.LinkID{links[0]}, []network.LinkID{links[1]})
+	x, err := SolveMaxMin(net.BaseCapacities(), []Flow{f1, f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10*x1 + 10*x2 = 100 with x2 = 3*x1: x1 = 2.5, x2 = 7.5.
+	if math.Abs(x[0]-2.5) > 1e-9 || math.Abs(x[1]-7.5) > 1e-9 {
+		t.Fatalf("x = %v, want [2.5 7.5]", x)
+	}
+}
+
+func TestMaxMinTwoBottlenecks(t *testing.T) {
+	// Flow A crosses both links; flows B and C each cross one. Classic
+	// progressive filling: A freezes at the tighter link's fair share,
+	// then B (and C) absorb the slack on their own links.
+	b := network.NewBuilder("mm")
+	n0 := b.AddNCP("n0", nil, 0)
+	n1 := b.AddNCP("n1", nil, 0)
+	n2 := b.AddNCP("n2", nil, 0)
+	l0 := b.AddLink("l0", n0, n1, 10, 0) // tight
+	l1 := b.AddLink("l1", n1, n2, 30, 0) // loose
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build flows via simple placements: A uses l0+l1, B uses l0, C uses l1.
+	flowOver := func(routeIn []network.LinkID, from, to network.NCPID) Flow {
+		return pipelineFlowLinks(t, net, from, to, 1, routeIn)
+	}
+	a := flowOver([]network.LinkID{l0, l1}, n0, n2)
+	bf := flowOver([]network.LinkID{l0}, n0, n1)
+	c := flowOver([]network.LinkID{l1}, n1, n2)
+
+	x, err := SolveMaxMin(net.BaseCapacities(), []Flow{a, bf, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// l0 saturates first at x_A = x_B = 5; then C fills l1 to 30-5 = 25.
+	if math.Abs(x[0]-5) > 1e-9 || math.Abs(x[1]-5) > 1e-9 || math.Abs(x[2]-25) > 1e-9 {
+		t.Fatalf("x = %v, want [5 5 25]", x)
+	}
+}
+
+// pipelineFlowLinks builds a 2-CT flow whose single TT follows the given
+// link route (both CTs have no compute requirement, isolating link
+// constraints).
+func pipelineFlowLinks(t *testing.T, net *network.Network, from, to network.NCPID, bits float64, route []network.LinkID) Flow {
+	t.Helper()
+	b := taskgraph.NewBuilder("f")
+	s := b.AddCT("src", nil)
+	k := b.AddCT("snk", nil)
+	b.AddTT("move", s, k, bits)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.New(g, net)
+	if err := p.PlaceCT(s, from); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PlaceCT(k, to); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PlaceTT(0, route); err != nil {
+		t.Fatal(err)
+	}
+	return Flow{Weight: 1, Path: p}
+}
+
+func TestMaxMinVsProportionalFairness(t *testing.T) {
+	// On random instances: PF must win on total log-utility, max-min must
+	// win (or tie) on the minimum weight-normalized rate.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		cpu := 50 + rng.Float64()*100
+		bw := 20 + rng.Float64()*100
+		net, links := line3(t, cpu, bw)
+		nf := 2 + rng.Intn(3)
+		flows := make([]Flow, nf)
+		for i := range flows {
+			flows[i] = pipelineFlow(t, net, 0, 1, 2,
+				1+rng.Float64()*10, 1+rng.Float64()*10, 0.5+rng.Float64()*2,
+				[]network.LinkID{links[0]}, []network.LinkID{links[1]})
+		}
+		pf, err := Solve(net.BaseCapacities(), flows, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := SolveMaxMin(net.BaseCapacities(), flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feasible(net, flows, mm) {
+			t.Fatalf("trial %d: max-min allocation infeasible", trial)
+		}
+		if u1, u2 := Utility(flows, pf), Utility(flows, mm); u1 < u2-1e-6 {
+			t.Fatalf("trial %d: PF utility %v below max-min %v", trial, u1, u2)
+		}
+		minNorm := func(x []float64) float64 {
+			m := math.Inf(1)
+			for f := range flows {
+				if v := x[f] / flows[f].Weight; v < m {
+					m = v
+				}
+			}
+			return m
+		}
+		if m1, m2 := minNorm(mm), minNorm(pf); m1 < m2-1e-6 {
+			t.Fatalf("trial %d: max-min min-rate %v below PF %v", trial, m1, m2)
+		}
+	}
+}
+
+func TestMaxMinValidation(t *testing.T) {
+	net, links := line3(t, 10, 10)
+	if _, err := SolveMaxMin(net.BaseCapacities(), nil); err == nil {
+		t.Fatal("no flows must error")
+	}
+	f := pipelineFlow(t, net, 0, 1, 2, 1, 1, -1, []network.LinkID{links[0]}, []network.LinkID{links[1]})
+	if _, err := SolveMaxMin(net.BaseCapacities(), []Flow{f}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+}
+
+func TestMaxMinStarvedFlow(t *testing.T) {
+	net, links := line3(t, 0, 100) // dead middle NCP
+	f := pipelineFlow(t, net, 0, 1, 2, 5, 1, 1, []network.LinkID{links[0]}, []network.LinkID{links[1]})
+	x, err := SolveMaxMin(net.BaseCapacities(), []Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 {
+		t.Fatalf("starved flow rate = %v", x[0])
+	}
+}

@@ -1,0 +1,76 @@
+package alloc
+
+import (
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+)
+
+// Footprint summarizes which network elements an already-placed BE
+// application loads, with its priority. It is the input to the Theorem 3
+// capacity prediction.
+type Footprint struct {
+	Priority float64
+	NCPs     map[network.NCPID]bool
+	Links    map[network.LinkID]bool
+}
+
+// FootprintOf collects the elements loaded by any of an application's
+// task-assignment paths.
+func FootprintOf(priority float64, paths []placement.Path) Footprint {
+	fp := Footprint{
+		Priority: priority,
+		NCPs:     map[network.NCPID]bool{},
+		Links:    map[network.LinkID]bool{},
+	}
+	for _, path := range paths {
+		net := path.P.Net
+		for v := 0; v < net.NumNCPs(); v++ {
+			if !path.P.NCPLoad(network.NCPID(v)).IsZero() {
+				fp.NCPs[network.NCPID(v)] = true
+			}
+		}
+		for l := 0; l < net.NumLinks(); l++ {
+			if path.P.LinkLoad(network.LinkID(l)) > 0 {
+				fp.Links[network.LinkID(l)] = true
+			}
+		}
+	}
+	return fp
+}
+
+// Predict implements eq. (6): the capacity of every element as seen by a
+// new BE application with the given priority is the element's BE-class
+// capacity scaled by priority / (priority + sum of priorities already
+// placed on that element). Elements nobody uses are offered in full. caps
+// is not mutated.
+func Predict(caps *network.Capacities, placed []Footprint, priority float64) *network.Capacities {
+	out := caps.Clone()
+	for v := range out.NCP {
+		share := shareFor(placed, priority, func(fp Footprint) bool { return fp.NCPs[network.NCPID(v)] })
+		if share < 1 {
+			scaleVector(out.NCP[v], share)
+		}
+	}
+	for l := range out.Link {
+		share := shareFor(placed, priority, func(fp Footprint) bool { return fp.Links[network.LinkID(l)] })
+		out.Link[l] *= share
+	}
+	return out
+}
+
+func shareFor(placed []Footprint, priority float64, uses func(Footprint) bool) float64 {
+	total := priority
+	for _, fp := range placed {
+		if uses(fp) {
+			total += fp.Priority
+		}
+	}
+	return priority / total
+}
+
+func scaleVector(v resource.Vector, s float64) {
+	for k := range v {
+		v[k] *= s
+	}
+}

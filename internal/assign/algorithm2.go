@@ -1,0 +1,420 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// Sparcle is the dynamic-ranking task assignment algorithm (Algorithm 2).
+// CTs are placed one at a time: for every unplaced CT i the best host j*_i
+// maximizes the new bottleneck rate γ_{i,j} (eq. (2)), and the CT actually
+// placed next is the one whose best achievable bottleneck is smallest —
+// the most constrained CT — so the ranking adapts as placement proceeds.
+type Sparcle struct {
+	// LiteralNu makes γ consider every placed reachable CT, exactly as
+	// the paper's ν_i is written, instead of only the frontier placed CTs
+	// (see gamma). The literal form double-counts transports once an
+	// intermediate CT is placed and measurably misses optimal placements
+	// (the ablation benchmarks quantify this); it exists for comparison.
+	LiteralNu bool
+	// Observer, when set, receives every placement decision as it is
+	// made, in order: pinned placements first, then the dynamic-ranking
+	// picks with their γ values. Useful for explaining why a task landed
+	// where it did.
+	Observer func(Decision)
+}
+
+// Decision is one step of the dynamic-ranking placement, reported through
+// Sparcle.Observer.
+type Decision struct {
+	// Step is the 0-based placement order.
+	Step int
+	CT   taskgraph.CTID
+	Host network.NCPID
+	// CTName and HostName are resolved for convenience.
+	CTName, HostName string
+	// Pinned marks data sources, consumers and operator-pinned CTs.
+	Pinned bool
+	// Gamma is γ_{i,j*} for ranked placements: the bottleneck processing
+	// rate this CT imposes at its chosen host (+Inf when unconstrained,
+	// 0 for pinned placements, where no ranking happens).
+	Gamma float64
+}
+
+var _ placement.Algorithm = Sparcle{}
+
+// Name implements placement.Algorithm.
+func (Sparcle) Name() string { return "SPARCLE" }
+
+// Assign implements placement.Algorithm.
+func (a Sparcle) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
+	st, err := newState(g, pins, net, caps)
+	if err != nil {
+		return nil, err
+	}
+	st.literalNu = a.LiteralNu
+	if a.Observer != nil {
+		for i, ct := range st.placed {
+			host := st.p.Host(ct)
+			a.Observer(Decision{
+				Step: i, CT: ct, Host: host, Pinned: true,
+				CTName: g.CT(ct).Name, HostName: net.NCP(host).Name,
+			})
+		}
+	}
+	for len(st.unplaced) > 0 {
+		ct, host, gamma, err := st.dynamicRankNext()
+		if err != nil {
+			return nil, err
+		}
+		if a.Observer != nil {
+			a.Observer(Decision{
+				Step: len(st.placed), CT: ct, Host: host, Gamma: gamma,
+				CTName: g.CT(ct).Name, HostName: net.NCP(host).Name,
+			})
+		}
+		if err := st.place(ct, host); err != nil {
+			return nil, err
+		}
+	}
+	return st.p, nil
+}
+
+// Ordered is the shared skeleton of the Greedy Sorted (GS) and Greedy
+// Random (GRand) baselines (§V): the same placement machinery as SPARCLE
+// (greedy host choice, widest-path TT routing) but with a fixed CT
+// placement order decided up front instead of the dynamic ranking, and —
+// per the paper's description "not considering the connecting TTs'
+// resource requirements" — host selection driven by NCP capacity alone.
+type Ordered struct {
+	// AlgName is the reported algorithm name.
+	AlgName string
+	// Order returns the CT placement order for g (pinned CTs are skipped
+	// wherever they appear).
+	Order func(g *taskgraph.Graph) []taskgraph.CTID
+	// FullGamma, if set, restores SPARCLE's transport-aware host choice;
+	// by default hosts are picked by the NCP term of eq. (2) only.
+	FullGamma bool
+}
+
+var _ placement.Algorithm = Ordered{}
+
+// Name implements placement.Algorithm.
+func (o Ordered) Name() string { return o.AlgName }
+
+// Assign implements placement.Algorithm.
+func (o Ordered) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
+	st, err := newState(g, pins, net, caps)
+	if err != nil {
+		return nil, err
+	}
+	order := o.Order(g)
+	if len(order) != g.NumCTs() {
+		return nil, fmt.Errorf("assign: %s order covers %d of %d CTs", o.AlgName, len(order), g.NumCTs())
+	}
+	for _, ct := range order {
+		if st.p.Host(ct) >= 0 {
+			continue
+		}
+		var (
+			host     network.NCPID
+			feasible bool
+		)
+		if o.FullGamma {
+			host, _, feasible = st.bestHost(ct)
+		} else {
+			host, feasible = st.bestHostNCPOnly(ct)
+		}
+		if !feasible {
+			return nil, fmt.Errorf("assign: %s: CT %d: %w", o.AlgName, ct, placement.ErrInfeasible)
+		}
+		if err := st.place(ct, host); err != nil {
+			return nil, err
+		}
+	}
+	return st.p, nil
+}
+
+// state carries the in-progress placement shared by the greedy algorithms.
+type state struct {
+	g    *taskgraph.Graph
+	net  *network.Network
+	caps *network.Capacities
+	p    *placement.Placement
+
+	unplaced map[taskgraph.CTID]bool
+	placed   []taskgraph.CTID // in placement order
+	linkLoad []float64        // mirrors p's link loads for WidestPath
+
+	// literalNu switches gamma to the paper-literal ν_i (every placed
+	// reachable CT) instead of the frontier restriction.
+	literalNu bool
+}
+
+func newState(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*state, error) {
+	for _, src := range g.Sources() {
+		if _, ok := pins[src]; !ok {
+			return nil, fmt.Errorf("assign: source CT %q (%d) has no pinned host", g.CT(src).Name, src)
+		}
+	}
+	for _, snk := range g.Sinks() {
+		if _, ok := pins[snk]; !ok {
+			return nil, fmt.Errorf("assign: sink CT %q (%d) has no pinned host", g.CT(snk).Name, snk)
+		}
+	}
+	st := &state{
+		g:        g,
+		net:      net,
+		caps:     caps,
+		p:        placement.New(g, net),
+		unplaced: make(map[taskgraph.CTID]bool, g.NumCTs()),
+		linkLoad: make([]float64, net.NumLinks()),
+	}
+	for ct := 0; ct < g.NumCTs(); ct++ {
+		st.unplaced[taskgraph.CTID(ct)] = true
+	}
+	// Place pinned CTs first (Algorithm 2 lines 3-5), in id order for
+	// determinism, routing TTs between pinned pairs as they close.
+	pinned := make([]taskgraph.CTID, 0, len(pins))
+	for ct := range pins {
+		pinned = append(pinned, ct)
+	}
+	sort.Slice(pinned, func(i, j int) bool { return pinned[i] < pinned[j] })
+	for _, ct := range pinned {
+		if err := st.place(ct, pins[ct]); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// place commits CT ct to host and routes every TT between ct and an
+// already-placed neighbor on the widest path given the loads placed so far.
+func (st *state) place(ct taskgraph.CTID, host network.NCPID) error {
+	if err := st.p.PlaceCT(ct, host); err != nil {
+		return err
+	}
+	delete(st.unplaced, ct)
+	st.placed = append(st.placed, ct)
+	for _, ttID := range st.g.AdjacentTTs(ct) {
+		tt := st.g.TT(ttID)
+		other := tt.From
+		if other == ct {
+			other = tt.To
+		}
+		oHost := st.p.Host(other)
+		if oHost < 0 {
+			continue
+		}
+		route, _, ok := WidestPath(st.net, st.caps, st.linkLoad, tt.Bits, st.p.Host(tt.From), st.p.Host(tt.To))
+		if !ok {
+			return fmt.Errorf("assign: no route for TT %q between NCPs %d and %d: %w",
+				tt.Name, st.p.Host(tt.From), st.p.Host(tt.To), placement.ErrInfeasible)
+		}
+		if err := st.p.PlaceTT(ttID, route); err != nil {
+			return err
+		}
+		for _, l := range route {
+			st.linkLoad[l] += tt.Bits
+		}
+	}
+	return nil
+}
+
+// gamma computes γ_{i,j} (eq. (2)): the bottleneck processing rate imposed
+// by tentatively placing CT i on NCP j, combining j's residual computation
+// capacity against its already co-located load plus i's requirement, and,
+// for every *frontier* placed CT reachable from i, the widest path for the
+// lightest TT between them. feasible=false means some such CT is
+// network-unreachable from j.
+//
+// The frontier restriction sharpens the paper's ν_i: a placed CT i′ only
+// imposes a link term if some task-graph path between i and i′ has no
+// other placed CT in its interior — otherwise the stream between their
+// hosts is already carried by previously routed TTs and eq. (2) would
+// double-count it (e.g. charging a phantom edge->resize transport after
+// denoise, between them, is already placed elsewhere). For pairs with a
+// placed intermediary the paper's justification ("at least one TT of
+// G(i,i′) will be placed on the path between j and j′") no longer holds.
+func (st *state) gamma(ct taskgraph.CTID, host network.NCPID) (rate float64, feasible bool) {
+	rate = rateWith(st.caps.NCP[host], st.p.NCPLoad(host), st.g.CT(ct).Req)
+	for _, other := range st.nu(ct) {
+		ttID, ok := st.g.MinBitsTTBetween(ct, other)
+		if !ok {
+			continue
+		}
+		oHost := st.p.Host(other)
+		if oHost == host {
+			continue
+		}
+		_, bottleneck, ok := WidestPath(st.net, st.caps, st.linkLoad, st.g.TT(ttID).Bits, host, oHost)
+		if !ok {
+			return 0, false
+		}
+		if bottleneck < rate {
+			rate = bottleneck
+		}
+	}
+	return rate, true
+}
+
+// nu returns the placed CTs whose link terms enter γ for ct: the frontier
+// set by default, or every placed reachable CT in literal-ν mode.
+func (st *state) nu(ct taskgraph.CTID) []taskgraph.CTID {
+	if !st.literalNu {
+		return st.frontierPlaced(ct)
+	}
+	var out []taskgraph.CTID
+	for _, other := range st.placed {
+		if st.g.Reachable(ct, other) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// frontierPlaced returns the placed CTs reachable from ct along task-graph
+// paths whose interior vertices are all unplaced, walking descendants and
+// ancestors separately and stopping at the first placed CT on each branch.
+func (st *state) frontierPlaced(ct taskgraph.CTID) []taskgraph.CTID {
+	var out []taskgraph.CTID
+	seen := make(map[taskgraph.CTID]bool)
+	var walk func(cur taskgraph.CTID, down bool)
+	walk = func(cur taskgraph.CTID, down bool) {
+		tts := st.g.OutTTs(cur)
+		if !down {
+			tts = st.g.InTTs(cur)
+		}
+		for _, ttID := range tts {
+			tt := st.g.TT(ttID)
+			next := tt.To
+			if !down {
+				next = tt.From
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			if st.p.Host(next) >= 0 {
+				out = append(out, next)
+				continue
+			}
+			walk(next, down)
+		}
+	}
+	walk(ct, true)
+	// Reset the visited set between directions: in a DAG the descendant
+	// and ancestor cones are disjoint apart from ct itself, but TT-level
+	// revisits within a cone are possible.
+	seen = make(map[taskgraph.CTID]bool)
+	walk(ct, false)
+	return out
+}
+
+// bestHost returns j*_i = argmax_j γ_{i,j} for CT i, the γ value achieved,
+// and whether any feasible host exists. Ties break toward the lower NCP id.
+func (st *state) bestHost(ct taskgraph.CTID) (network.NCPID, float64, bool) {
+	best := network.NCPID(-1)
+	bestRate := math.Inf(-1)
+	for j := 0; j < st.net.NumNCPs(); j++ {
+		rate, ok := st.gamma(ct, network.NCPID(j))
+		if !ok {
+			continue
+		}
+		if rate > bestRate {
+			bestRate = rate
+			best = network.NCPID(j)
+		}
+	}
+	if best < 0 {
+		return -1, 0, false
+	}
+	return best, bestRate, true
+}
+
+// bestHostNCPOnly picks the NCP maximizing the computation term of eq. (2)
+// alone, ignoring transport tasks entirely (the GS/GRand host rule). A CT
+// with no requirements lands on the lowest-id NCP. It is infeasible only
+// when the network has no NCPs at all.
+func (st *state) bestHostNCPOnly(ct taskgraph.CTID) (network.NCPID, bool) {
+	best := network.NCPID(-1)
+	bestRate := math.Inf(-1)
+	for j := 0; j < st.net.NumNCPs(); j++ {
+		rate := rateWith(st.caps.NCP[j], st.p.NCPLoad(network.NCPID(j)), st.g.CT(ct).Req)
+		if rate > bestRate {
+			bestRate = rate
+			best = network.NCPID(j)
+		}
+	}
+	return best, best >= 0
+}
+
+// dynamicRankNext implements Algorithm 2 lines 6-16: every unplaced CT is
+// scored by the bottleneck it would impose at its best host, and the CT
+// with the smallest such bottleneck — the most constrained one — is placed
+// first at that host. It returns the chosen CT, its host and its γ.
+func (st *state) dynamicRankNext() (taskgraph.CTID, network.NCPID, float64, error) {
+	bestCT := taskgraph.CTID(-1)
+	bestHost := network.NCPID(-1)
+	bestRate := math.Inf(1)
+	cts := make([]taskgraph.CTID, 0, len(st.unplaced))
+	for ct := range st.unplaced {
+		cts = append(cts, ct)
+	}
+	sort.Slice(cts, func(i, j int) bool { return cts[i] < cts[j] })
+	for _, ct := range cts {
+		host, rate, feasible := st.bestHost(ct)
+		if !feasible {
+			return -1, -1, 0, fmt.Errorf("assign: CT %q (%d): %w", st.g.CT(ct).Name, ct, placement.ErrInfeasible)
+		}
+		if rate < bestRate {
+			bestRate = rate
+			bestCT = ct
+			bestHost = host
+		}
+	}
+	if bestCT < 0 {
+		// Every remaining CT scored +Inf (no demands anywhere): place the
+		// lowest-id one at its best host.
+		bestCT = cts[0]
+		h, _, feasible := st.bestHost(bestCT)
+		if !feasible {
+			return -1, -1, 0, fmt.Errorf("assign: CT %d: %w", bestCT, placement.ErrInfeasible)
+		}
+		bestHost = h
+	}
+	return bestCT, bestHost, bestRate, nil
+}
+
+// rateWith returns min over resource kinds of cap[k] / (base[k]+extra[k]),
+// ignoring kinds with no demand: the service rate NCP capacity `cap` offers
+// to the combined load of already co-located tasks (base) plus a candidate
+// requirement (extra). Equivalent to resource.DivMin without allocating the
+// combined vector.
+func rateWith(cap, base, extra resource.Vector) float64 {
+	rate := math.Inf(1)
+	consider := func(k resource.Kind) {
+		demand := base[k] + extra[k]
+		if demand <= 0 {
+			return
+		}
+		if r := cap[k] / demand; r < rate {
+			rate = r
+		}
+	}
+	for k := range base {
+		consider(k)
+	}
+	for k := range extra {
+		if _, seen := base[k]; !seen {
+			consider(k)
+		}
+	}
+	return rate
+}

@@ -1,0 +1,124 @@
+// Package assign implements SPARCLE's polynomial-time task assignment:
+// Algorithm 1 (the modified Dijkstra widest-path search used to route one
+// transport task) and Algorithm 2 (the dynamic-ranking greedy that places
+// computation tasks one at a time on heterogeneous NCPs with
+// limited-bandwidth links), plus the multi-path iteration of §IV.D.
+package assign
+
+import (
+	"container/heap"
+	"math"
+
+	"sparcle/internal/network"
+)
+
+// WidestPath finds the best path P*_k(from, to) for a TT carrying `bits`
+// per data unit (Algorithm 1, eq. (3)): the path maximizing the minimum
+// over its links of C_l / (bits + linkLoad[l]), where linkLoad holds the
+// bits per data unit already routed on each link by the placement under
+// construction and caps holds residual link bandwidths.
+//
+// Ties in the bottleneck value are broken toward fewer hops, so the search
+// never wastes links (or availability) on an equally-wide detour.
+//
+// It returns the route, the bottleneck value (the minimum link weight along
+// the route, +Inf when from == to), and ok=false when to is unreachable.
+func WidestPath(net *network.Network, caps *network.Capacities, linkLoad []float64, bits float64, from, to network.NCPID) (route []network.LinkID, bottleneck float64, ok bool) {
+	if from == to {
+		return nil, math.Inf(1), true
+	}
+	n := net.NumNCPs()
+	phi := make([]float64, n) // best bottleneck from `from` to each NCP
+	hops := make([]int, n)    // hop count of the best-known path
+	prevLink := make([]network.LinkID, n)
+	done := make([]bool, n)
+	for i := range phi {
+		phi[i] = math.Inf(-1)
+		prevLink[i] = -1
+	}
+	phi[from] = math.Inf(1)
+
+	pq := &widestQueue{}
+	heap.Push(pq, widestItem{ncp: from, phi: phi[from]})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(widestItem)
+		v := it.ncp
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if v == to {
+			break
+		}
+		for _, l := range net.Incident(v) {
+			u := net.Other(l, v)
+			if done[u] {
+				continue
+			}
+			w := linkWeight(caps.Link[l], linkLoad[l], bits)
+			b := math.Min(phi[v], w)
+			if b > phi[u] || (b == phi[u] && hops[v]+1 < hops[u]) {
+				phi[u] = b
+				hops[u] = hops[v] + 1
+				prevLink[u] = l
+				heap.Push(pq, widestItem{ncp: u, phi: b, hops: hops[u]})
+			}
+		}
+	}
+	if !done[to] && math.IsInf(phi[to], -1) {
+		return nil, 0, false
+	}
+	// Reconstruct the route by walking predecessor links from `to`.
+	for v := to; v != from; {
+		l := prevLink[v]
+		if l < 0 {
+			return nil, 0, false
+		}
+		route = append(route, l)
+		v = net.Other(l, v)
+	}
+	reverseLinks(route)
+	return route, phi[to], true
+}
+
+// linkWeight is the per-link bottleneck a TT of `bits` would see on a link
+// with residual capacity cap and already-placed load: cap / (bits + load).
+// A zero-demand TT on an idle link constrains nothing (+Inf).
+func linkWeight(cap, load, bits float64) float64 {
+	demand := bits + load
+	if demand <= 0 {
+		return math.Inf(1)
+	}
+	return cap / demand
+}
+
+func reverseLinks(route []network.LinkID) {
+	for i, j := 0, len(route)-1; i < j; i, j = i+1, j-1 {
+		route[i], route[j] = route[j], route[i]
+	}
+}
+
+type widestItem struct {
+	ncp  network.NCPID
+	phi  float64
+	hops int
+}
+
+type widestQueue []widestItem
+
+func (q widestQueue) Len() int { return len(q) }
+func (q widestQueue) Less(i, j int) bool {
+	if q[i].phi != q[j].phi {
+		return q[i].phi > q[j].phi
+	}
+	return q[i].hops < q[j].hops
+}
+func (q widestQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *widestQueue) Push(x interface{}) { *q = append(*q, x.(widestItem)) }
+func (q *widestQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

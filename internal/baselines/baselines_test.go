@@ -1,0 +1,318 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/assign"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// testInstance is a small ring network plus a linear app used across the
+// baseline tests.
+type testInstance struct {
+	g    *taskgraph.Graph
+	net  *network.Network
+	pins placement.Pins
+}
+
+func newInstance(t *testing.T, seed int64) *testInstance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := network.NewBuilder("ring")
+	n := 5
+	ids := make([]network.NCPID, n)
+	for i := range ids {
+		ids[i] = b.AddNCP("n", resource.Vector{resource.CPU: 50 + rng.Float64()*100}, 0)
+	}
+	for i := 0; i < n; i++ {
+		b.AddLink("l", ids[i], ids[(i+1)%n], 20+rng.Float64()*100, 0)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]resource.Vector, 3)
+	for i := range reqs {
+		reqs[i] = resource.Vector{resource.CPU: 5 + rng.Float64()*20}
+	}
+	bits := make([]float64, 4)
+	for i := range bits {
+		bits[i] = 1 + rng.Float64()*20
+	}
+	g, err := taskgraph.Linear("app", reqs, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := placement.Pins{g.Sources()[0]: ids[0], g.Sinks()[0]: ids[2]}
+	return &testInstance{g: g, net: net, pins: pins}
+}
+
+// TestAllProduceValidPlacements runs every algorithm over several random
+// instances and validates structural correctness plus a positive rate.
+func TestAllProduceValidPlacements(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		inst := newInstance(t, seed)
+		rng := rand.New(rand.NewSource(seed))
+		algs := All(rng)
+		algs = append(algs, Cloud{Node: 1}, Optimal{})
+		for _, alg := range algs {
+			p, err := alg.Assign(inst.g, inst.pins, inst.net, inst.net.BaseCapacities())
+			if err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, alg.Name(), err)
+			}
+			if err := p.Validate(inst.pins); err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, alg.Name(), err)
+			}
+			if r := p.Rate(inst.net.BaseCapacities()); r <= 0 {
+				t.Fatalf("seed %d, %s: rate %v", seed, alg.Name(), r)
+			}
+		}
+	}
+}
+
+// TestNamesAreStable locks the algorithm names used in experiment tables.
+func TestNamesAreStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := []string{"SPARCLE", "GS", "GRand", "Random", "T-Storm", "VNE", "HEFT"}
+	algs := All(rng)
+	if len(algs) != len(want) {
+		t.Fatalf("All() returned %d algorithms, want %d", len(algs), len(want))
+	}
+	for i, alg := range algs {
+		if alg.Name() != want[i] {
+			t.Fatalf("algorithm %d named %q, want %q", i, alg.Name(), want[i])
+		}
+	}
+	if (Cloud{}).Name() != "Cloud" || (Optimal{}).Name() != "Optimal" {
+		t.Fatal("Cloud/Optimal names wrong")
+	}
+}
+
+// TestOptimalDominates ensures the exhaustive search is an upper bound for
+// every heuristic on small instances.
+func TestOptimalDominates(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		inst := newInstance(t, seed)
+		caps := inst.net.BaseCapacities()
+		opt, err := (Optimal{}).Assign(inst.g, inst.pins, inst.net, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optRate := opt.Rate(caps)
+		rng := rand.New(rand.NewSource(seed))
+		for _, alg := range All(rng) {
+			if r := RateOf(alg, inst.g, inst.pins, inst.net, caps); r > optRate*(1+1e-9) {
+				t.Fatalf("seed %d: %s rate %v exceeds optimal %v", seed, alg.Name(), r, optRate)
+			}
+		}
+	}
+}
+
+// TestSparcleBeatsNetworkObliviousOnLinkBottleneck reproduces the paper's
+// core claim in miniature: with tight links, the network-aware SPARCLE
+// must (on average) outperform the network-oblivious baselines.
+func TestSparcleBeatsNetworkObliviousOnLinkBottleneck(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sums := map[string]float64{}
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		// Star network: generous CPU, scarce heterogeneous bandwidth.
+		b := network.NewBuilder("star")
+		hub := b.AddNCP("hub", resource.Vector{resource.CPU: 1000}, 0)
+		leaves := make([]network.NCPID, 4)
+		for i := range leaves {
+			leaves[i] = b.AddNCP("leaf", resource.Vector{resource.CPU: 1000}, 0)
+			b.AddLink("l", hub, leaves[i], 5+rng.Float64()*40, 0)
+		}
+		net, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := make([]resource.Vector, 3)
+		for i := range reqs {
+			reqs[i] = resource.Vector{resource.CPU: 1 + rng.Float64()*5}
+		}
+		bits := make([]float64, 4)
+		for i := range bits {
+			bits[i] = 5 + rng.Float64()*40
+		}
+		g, err := taskgraph.Linear("app", reqs, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins := placement.Pins{g.Sources()[0]: leaves[0], g.Sinks()[0]: leaves[1]}
+		caps := net.BaseCapacities()
+		for _, alg := range []placement.Algorithm{assign.Sparcle{}, TStorm{}, VNE{}, Random{Rng: rng}} {
+			sums[alg.Name()] += RateOf(alg, g, pins, net, caps)
+		}
+	}
+	for _, name := range []string{"T-Storm", "VNE", "Random"} {
+		if sums["SPARCLE"] <= sums[name] {
+			t.Fatalf("SPARCLE mean %v not above %s mean %v", sums["SPARCLE"]/trials, name, sums[name]/trials)
+		}
+	}
+}
+
+func TestTStormMinimizesTraffic(t *testing.T) {
+	// Source and sink pinned together fill node c's two slots (limit =
+	// ceil(4 CTs / 2 NCPs) = 2), so both middle CTs must land on node a:
+	// the chatty pair stays co-located and only the light edge TTs cross
+	// the link.
+	b := network.NewBuilder("pair")
+	a := b.AddNCP("a", resource.Vector{resource.CPU: 10}, 0)
+	c := b.AddNCP("c", resource.Vector{resource.CPU: 10}, 0)
+	b.AddLink("l", a, c, 100, 0)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := taskgraph.Linear("app",
+		[]resource.Vector{{resource.CPU: 1}, {resource.CPU: 1}},
+		[]float64{1, 100, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := placement.Pins{g.Sources()[0]: c, g.Sinks()[0]: c}
+	p, err := TStorm{}.Assign(g, pins, net, net.BaseCapacities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct1, ct2 := g.TopoOrder()[1], g.TopoOrder()[2]
+	if p.Host(ct1) != a || p.Host(ct2) != a {
+		t.Fatalf("T-Storm hosts = %v, %v; want both on %v", p.Host(ct1), p.Host(ct2), a)
+	}
+	// And with room on both nodes, the chatty pair is never split: pin
+	// only the source, leaving slots free everywhere.
+	p2, err := TStorm{}.Assign(g, placement.Pins{g.Sources()[0]: a, g.Sinks()[0]: a}, net, net.BaseCapacities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Host(ct1) != p2.Host(ct2) {
+		t.Fatalf("T-Storm split the chatty pair: %v vs %v", p2.Host(ct1), p2.Host(ct2))
+	}
+}
+
+func TestCloudPlacesEverythingOnCloud(t *testing.T) {
+	inst := newInstance(t, 3)
+	cloud := network.NCPID(3)
+	p, err := Cloud{Node: cloud}.Assign(inst.g, inst.pins, inst.net, inst.net.BaseCapacities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range freeCTs(inst.g, inst.pins) {
+		if p.Host(ct) != cloud {
+			t.Fatalf("CT %d on %d, want cloud %d", ct, p.Host(ct), cloud)
+		}
+	}
+	if _, err := (Cloud{Node: 99}).Assign(inst.g, inst.pins, inst.net, inst.net.BaseCapacities()); err == nil {
+		t.Fatal("out-of-range cloud must error")
+	}
+}
+
+func TestOptimalRefusesHugeInstances(t *testing.T) {
+	inst := newInstance(t, 4)
+	if _, err := (Optimal{MaxStates: 2}).Assign(inst.g, inst.pins, inst.net, inst.net.BaseCapacities()); err == nil {
+		t.Fatal("want search-space error")
+	}
+}
+
+func TestRandomIsPinRespectingAndComplete(t *testing.T) {
+	inst := newInstance(t, 5)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		p, err := (Random{Rng: rng}).Assign(inst.g, inst.pins, inst.net, inst.net.BaseCapacities())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(inst.pins); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedySortedOrdersBySize(t *testing.T) {
+	g, err := taskgraph.Linear("app",
+		[]resource.Vector{{resource.CPU: 1}, {resource.CPU: 100}, {resource.CPU: 10}},
+		[]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ok := GreedySorted().(assign.Ordered)
+	if !ok {
+		t.Fatal("GreedySorted must be an assign.Ordered")
+	}
+	order := gs.Order(g)
+	// The largest CT (requirement 100) must come first among processing CTs.
+	if maxReq(g, order[0]) != 100 {
+		t.Fatalf("first ordered CT has req %v, want 100", maxReq(g, order[0]))
+	}
+}
+
+func TestRateOfHandlesFailure(t *testing.T) {
+	// Disconnected network: RateOf must report zero, not error.
+	b := network.NewBuilder("split")
+	a := b.AddNCP("a", resource.Vector{resource.CPU: 10}, 0)
+	c := b.AddNCP("c", resource.Vector{resource.CPU: 10}, 0)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := taskgraph.Linear("app", []resource.Vector{{resource.CPU: 1}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := placement.Pins{g.Sources()[0]: a, g.Sinks()[0]: c}
+	if r := RateOf(TStorm{}, g, pins, net, net.BaseCapacities()); r != 0 {
+		t.Fatalf("rate = %v, want 0", r)
+	}
+}
+
+func TestNodeRankPrefersStrongNodes(t *testing.T) {
+	// A 3-node path where node 2 has far more strength: its rank must be
+	// the highest.
+	strength := []float64{1, 1, 50}
+	adj := [][]int{{1}, {0, 2}, {1}}
+	rank := nodeRank(strength, adj)
+	if !(rank[2] > rank[0] && rank[2] > rank[1]) {
+		t.Fatalf("rank = %v, want node 2 highest", rank)
+	}
+	sum := rank[0] + rank[1] + rank[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks must stay normalized, sum = %v", sum)
+	}
+}
+
+func TestHEFTPicksFastNodeWhenBandwidthAmple(t *testing.T) {
+	// One fast and one slow middle node with wide links: HEFT must use the
+	// fast node for the single heavy CT.
+	b := network.NewBuilder("heft")
+	src := b.AddNCP("src", nil, 0)
+	fast := b.AddNCP("fast", resource.Vector{resource.CPU: 1000}, 0)
+	slow := b.AddNCP("slow", resource.Vector{resource.CPU: 10}, 0)
+	snk := b.AddNCP("snk", nil, 0)
+	b.AddLink("a", src, fast, 1e6, 0)
+	b.AddLink("b", src, slow, 1e6, 0)
+	b.AddLink("c", fast, snk, 1e6, 0)
+	b.AddLink("d", slow, snk, 1e6, 0)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := taskgraph.Linear("app", []resource.Vector{{resource.CPU: 100}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := placement.Pins{g.Sources()[0]: src, g.Sinks()[0]: snk}
+	p, err := HEFT{}.Assign(g, pins, net, net.BaseCapacities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Host(g.TopoOrder()[1]) != fast {
+		t.Fatalf("HEFT placed heavy CT on %d, want fast node %d", p.Host(g.TopoOrder()[1]), fast)
+	}
+}

@@ -1,0 +1,187 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sparcle/internal/assign"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/taskgraph"
+)
+
+// Random places every free CT on a uniformly random NCP and routes TTs on
+// hop-shortest paths. rng must not be shared across goroutines.
+type Random struct {
+	Rng *rand.Rand
+}
+
+var _ placement.Algorithm = Random{}
+
+// Name implements placement.Algorithm.
+func (Random) Name() string { return "Random" }
+
+// Assign implements placement.Algorithm.
+func (r Random) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
+	p := placement.New(g, net)
+	if err := placePins(g, pins, p); err != nil {
+		return nil, err
+	}
+	for _, ct := range freeCTs(g, pins) {
+		host := network.NCPID(r.Rng.Intn(net.NumNCPs()))
+		if err := p.PlaceCT(ct, host); err != nil {
+			return nil, err
+		}
+	}
+	if err := routeShortest(p, net); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Cloud places every free CT on one designated cloud NCP, modeling the
+// cloud-computing deployment Fig. 6 compares against. TTs are routed on
+// widest paths so the cloud case is not additionally penalized by routing.
+type Cloud struct {
+	Node network.NCPID
+}
+
+var _ placement.Algorithm = Cloud{}
+
+// Name implements placement.Algorithm.
+func (Cloud) Name() string { return "Cloud" }
+
+// Assign implements placement.Algorithm.
+func (c Cloud) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
+	if c.Node < 0 || int(c.Node) >= net.NumNCPs() {
+		return nil, fmt.Errorf("baselines: cloud NCP %d out of range", c.Node)
+	}
+	p := placement.New(g, net)
+	if err := placePins(g, pins, p); err != nil {
+		return nil, err
+	}
+	for _, ct := range freeCTs(g, pins) {
+		if err := p.PlaceCT(ct, c.Node); err != nil {
+			return nil, err
+		}
+	}
+	if err := routeWidest(p, net, caps); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Optimal exhaustively enumerates every assignment of free CTs to NCPs,
+// routing TTs on widest paths in several orders (id, reverse, heaviest-
+// and lightest-first) and keeping the best, and returns the placement with
+// the highest bottleneck rate. Joint optimal routing of all TTs is itself
+// NP-hard, so this is "optimal assignment + near-optimal routing" — the
+// same exhaustive reference the paper's optimal series uses. It is
+// exponential in the number of free CTs and refuses instances above
+// MaxStates enumerated assignments; it exists to report the "optimal"
+// reference series of Figs. 6 and 8.
+type Optimal struct {
+	// MaxStates bounds |N|^|free CTs|; 0 means DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds the exhaustive search to roughly a second of
+// work on small experiment instances.
+const DefaultMaxStates = 5_000_000
+
+var _ placement.Algorithm = Optimal{}
+
+// Name implements placement.Algorithm.
+func (Optimal) Name() string { return "Optimal" }
+
+// Assign implements placement.Algorithm.
+func (o Optimal) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
+	maxStates := o.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	free := freeCTs(g, pins)
+	states := 1.0
+	for range free {
+		states *= float64(net.NumNCPs())
+		if states > float64(maxStates) {
+			return nil, fmt.Errorf("baselines: optimal search space %.0f exceeds limit %d", states, maxStates)
+		}
+	}
+
+	var (
+		best     *placement.Placement
+		bestRate = -1.0
+	)
+	hosts := make([]network.NCPID, len(free))
+	var recurse func(k int) error
+	recurse = func(k int) error {
+		if k < len(free) {
+			for j := 0; j < net.NumNCPs(); j++ {
+				hosts[k] = network.NCPID(j)
+				if err := recurse(k + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, order := range ttOrders(g) {
+			p := placement.New(g, net)
+			if err := placePins(g, pins, p); err != nil {
+				return err
+			}
+			for i, ct := range free {
+				if err := p.PlaceCT(ct, hosts[i]); err != nil {
+					return err
+				}
+			}
+			if err := routeWidestOrdered(p, net, caps, order); err != nil {
+				return nil // this assignment is disconnected; skip it
+			}
+			if r := p.Rate(caps); r > bestRate {
+				bestRate = r
+				best = p
+			}
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("baselines: optimal: %w", placement.ErrInfeasible)
+	}
+	return best, nil
+}
+
+// All returns every comparison algorithm of §V sharing one rng, keyed for
+// the experiment tables: SPARCLE itself, GS, GRand, Random, T-Storm, VNE
+// and HEFT. The Cloud and Optimal algorithms are instantiated separately
+// because they need a cloud node or a size guard.
+func All(rng *rand.Rand) []placement.Algorithm {
+	return []placement.Algorithm{
+		assign.Sparcle{},
+		GreedySorted(),
+		GreedyRandom(rng),
+		Random{Rng: rng},
+		TStorm{},
+		VNE{},
+		HEFT{},
+	}
+}
+
+// RateOf runs alg and returns the achieved bottleneck rate, treating
+// infeasibility or an algorithm-specific failure as rate zero. It is the
+// shared measurement step of the simulation experiments.
+func RateOf(alg placement.Algorithm, g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) float64 {
+	p, err := alg.Assign(g, pins, net, caps)
+	if err != nil {
+		return 0
+	}
+	r := p.Rate(caps)
+	if math.IsInf(r, 1) || math.IsNaN(r) {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/taskgraph"
+)
+
+// TStorm implements the traffic-aware scheduling of T-Storm (Xu et al.,
+// ICDCS 2014) adapted to the dispersed setting: CTs are considered in
+// descending order of their total adjacent traffic, and each CT is placed
+// on the NCP that minimizes the *added inter-node traffic* to its already
+// placed neighbors, subject to a per-node task-slot limit that balances the
+// number of tasks per node. As in the original system, the algorithm does
+// not consider heterogeneous NCP capacities or link bandwidths, which is
+// exactly the weakness the SPARCLE evaluation exposes.
+type TStorm struct{}
+
+var _ placement.Algorithm = TStorm{}
+
+// Name implements placement.Algorithm.
+func (TStorm) Name() string { return "T-Storm" }
+
+// Assign implements placement.Algorithm.
+func (TStorm) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
+	p := placement.New(g, net)
+	if err := placePins(g, pins, p); err != nil {
+		return nil, err
+	}
+	// Per-node slot limit balancing the task count across NCPs.
+	slots := make([]int, net.NumNCPs())
+	limit := (g.NumCTs() + net.NumNCPs() - 1) / net.NumNCPs()
+	if limit < 1 {
+		limit = 1
+	}
+	for ct := 0; ct < g.NumCTs(); ct++ {
+		if h := p.Host(taskgraph.CTID(ct)); h >= 0 {
+			slots[h]++
+		}
+	}
+
+	order := sortCTs(g, func(i, j taskgraph.CTID) bool {
+		return adjacentTraffic(g, i) > adjacentTraffic(g, j)
+	})
+	for _, ct := range order {
+		if p.Host(ct) >= 0 {
+			continue
+		}
+		best, bestCost := network.NCPID(-1), math.Inf(1)
+		for j := 0; j < net.NumNCPs(); j++ {
+			host := network.NCPID(j)
+			if slots[host] >= limit {
+				continue
+			}
+			cost := addedTraffic(g, p, ct, host)
+			if cost < bestCost {
+				bestCost = cost
+				best = host
+			}
+		}
+		if best < 0 {
+			// All nodes full (can happen when pins crowd one node):
+			// fall back to the global minimum-traffic node.
+			for j := 0; j < net.NumNCPs(); j++ {
+				host := network.NCPID(j)
+				if cost := addedTraffic(g, p, ct, host); cost < bestCost {
+					bestCost = cost
+					best = host
+				}
+			}
+		}
+		if err := p.PlaceCT(ct, best); err != nil {
+			return nil, err
+		}
+		slots[best]++
+	}
+	if err := routeShortest(p, net); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// adjacentTraffic is the total bits per data unit on TTs incident to ct.
+func adjacentTraffic(g *taskgraph.Graph, ct taskgraph.CTID) float64 {
+	total := 0.0
+	for _, tt := range g.AdjacentTTs(ct) {
+		total += g.TT(tt).Bits
+	}
+	return total
+}
+
+// addedTraffic is the inter-node traffic created by placing ct on host:
+// the bits of every TT to an already placed neighbor hosted elsewhere.
+func addedTraffic(g *taskgraph.Graph, p *placement.Placement, ct taskgraph.CTID, host network.NCPID) float64 {
+	total := 0.0
+	for _, ttID := range g.AdjacentTTs(ct) {
+		tt := g.TT(ttID)
+		other := tt.From
+		if other == ct {
+			other = tt.To
+		}
+		if oHost := p.Host(other); oHost >= 0 && oHost != host {
+			total += tt.Bits
+		}
+	}
+	return total
+}
+
+// sortByScoreDesc sorts ids by score descending with stable id tie-break.
+func sortByScoreDesc(ids []int, score []float64) {
+	sort.SliceStable(ids, func(a, b int) bool { return score[ids[a]] > score[ids[b]] })
+}

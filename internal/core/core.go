@@ -1,0 +1,503 @@
+// Package core implements the SPARCLE scheduling system of §IV (Fig. 3):
+// it admits heterogeneous stream processing applications onto a dispersed
+// computing network, running the dynamic-ranking task assignment for each,
+// multiplying task-assignment paths until the requested availability is
+// met, reserving resources for Guaranteed-Rate applications, predicting
+// per-priority capacity shares for Best-Effort applications (eq. (6)), and
+// solving the weighted proportional-fair allocation (problem (4)) across
+// all admitted Best-Effort applications.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sparcle/internal/alloc"
+	"sparcle/internal/assign"
+	"sparcle/internal/avail"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/taskgraph"
+)
+
+// Class distinguishes the two QoE classes of §III.A.
+type Class int
+
+// The supported application classes.
+const (
+	BestEffort Class = iota + 1
+	GuaranteedRate
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case BestEffort:
+		return "best-effort"
+	case GuaranteedRate:
+		return "guaranteed-rate"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// QoS is an application's requested quality of experience.
+type QoS struct {
+	Class Class
+
+	// Priority is the relative importance of a BestEffort application
+	// (must be > 0 for BE apps).
+	Priority float64
+	// Availability is the requested probability that at least one task
+	// assignment path works (BE apps; 0 means no requirement).
+	Availability float64
+
+	// MinRate is the guaranteed processing rate of a GuaranteedRate
+	// application, in data units per second.
+	MinRate float64
+	// MinRateAvailability is the requested probability that the working
+	// paths jointly sustain MinRate (GR apps).
+	MinRateAvailability float64
+
+	// MaxPaths bounds the task assignment paths tried for this
+	// application; 0 uses the scheduler default.
+	MaxPaths int
+}
+
+// App is a stream processing application submitted to the scheduler.
+type App struct {
+	Name  string
+	Graph *taskgraph.Graph
+	// Pins maps every data-source and result-consumer CT (and optionally
+	// others) to its fixed host.
+	Pins placement.Pins
+	QoS  QoS
+}
+
+// PlacedApp is an admitted application with its task assignment paths and
+// current rates.
+type PlacedApp struct {
+	App App
+	// Paths holds the task assignment paths. For GR apps Rate is the
+	// reserved rate of each path; for BE apps it is the current
+	// proportional-fair allocation.
+	Paths []placement.Path
+	// Availability is the achieved QoE probability: at-least-one-path for
+	// BE apps, min-rate availability for GR apps.
+	Availability float64
+}
+
+// TotalRate returns the application's aggregate processing rate across its
+// paths.
+func (pa *PlacedApp) TotalRate() float64 {
+	total := 0.0
+	for _, p := range pa.Paths {
+		total += p.Rate
+	}
+	return total
+}
+
+// ErrRejected is wrapped by Submit when an application's QoE cannot be met
+// and the application is therefore not placed.
+var ErrRejected = errors.New("core: application rejected")
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithAlgorithm selects the task assignment algorithm (default SPARCLE's
+// dynamic ranking). Experiments use this hook to drive the baselines
+// through the identical admission pipeline.
+func WithAlgorithm(alg placement.Algorithm) Option {
+	return func(s *Scheduler) { s.alg = alg }
+}
+
+// WithDefaultMaxPaths sets the per-app path bound used when QoS.MaxPaths
+// is zero (default 4).
+func WithDefaultMaxPaths(n int) Option {
+	return func(s *Scheduler) { s.defaultMaxPaths = n }
+}
+
+// WithRandSeed seeds the scheduler's internal randomness (Monte-Carlo
+// availability fallback). The default seed is 1.
+func WithRandSeed(seed int64) Option {
+	return func(s *Scheduler) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithAllocOptions overrides the proportional-fair solver options.
+func WithAllocOptions(opt alloc.Options) Option {
+	return func(s *Scheduler) { s.allocOpt = opt }
+}
+
+// WithAvailabilitySamples sets the Monte-Carlo sample budget used when the
+// exact availability analysis is too large (default 100000).
+func WithAvailabilitySamples(n int) Option {
+	return func(s *Scheduler) { s.availSamples = n }
+}
+
+// WithDiverseMultiPath biases every task assignment path after an
+// application's first away from elements its earlier paths already use:
+// during assignment the residual capacity of used elements is scaled by
+// bias in (0, 1). Element-disjoint paths fail independently, so the
+// availability targets of §IV.C-D are reached with fewer paths, at some
+// rate cost. Extension; the paper's plain iteration is the default.
+func WithDiverseMultiPath(bias float64) Option {
+	return func(s *Scheduler) { s.diversityBias = bias }
+}
+
+// WithMaxMinFairness switches the Best-Effort rate allocation from the
+// paper's weighted proportional fairness (problem (4)) to weighted
+// max-min fairness (progressive filling): the worst normalized rate is
+// maximized at the cost of total utility. An extension for deployments
+// that prefer strict egalitarianism over efficiency.
+func WithMaxMinFairness() Option {
+	return func(s *Scheduler) { s.maxMin = true }
+}
+
+// WithoutPrediction disables the eq. (6) capacity prediction: new BE
+// applications are placed against the raw residual capacities instead of
+// their priority share. This is the ablation mode for quantifying how much
+// the prediction contributes to arrival-order independence; production use
+// should keep prediction on.
+func WithoutPrediction() Option {
+	return func(s *Scheduler) { s.noPrediction = true }
+}
+
+// Scheduler is the SPARCLE system: it owns the network's capacity
+// bookkeeping and the set of admitted applications.
+type Scheduler struct {
+	net *network.Network
+	alg placement.Algorithm
+
+	defaultMaxPaths int
+	allocOpt        alloc.Options
+	availSamples    int
+	rng             *rand.Rand
+
+	failProbs avail.FailProbs
+
+	// beAvailable is the capacity available to the BE class: (possibly
+	// fluctuation-scaled) base capacities minus all GR reservations.
+	beAvailable *network.Capacities
+	gr          []*PlacedApp
+	be          []*PlacedApp
+
+	// scale holds the current capacity fluctuation (see ApplyFluctuation);
+	// nil means nominal capacities.
+	scale ElementScale
+	// noPrediction disables the eq. (6) capacity prediction (ablation).
+	noPrediction bool
+	// maxMin switches BE allocation to weighted max-min fairness.
+	maxMin bool
+	// diversityBias < 1 steers later paths away from used elements.
+	diversityBias float64
+}
+
+// New returns a Scheduler over net.
+func New(net *network.Network, opts ...Option) *Scheduler {
+	s := &Scheduler{
+		net:             net,
+		alg:             assign.Sparcle{},
+		defaultMaxPaths: 4,
+		availSamples:    100000,
+		rng:             rand.New(rand.NewSource(1)),
+		beAvailable:     net.BaseCapacities(),
+		diversityBias:   1,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.failProbs = failProbs(net)
+	return s
+}
+
+// failProbs collects the fallible elements of the network.
+func failProbs(net *network.Network) avail.FailProbs {
+	fp := avail.FailProbs{}
+	for v := 0; v < net.NumNCPs(); v++ {
+		if p := net.NCP(network.NCPID(v)).FailProb; p > 0 {
+			fp[int(placement.NCPElement(network.NCPID(v)))] = p
+		}
+	}
+	for l := 0; l < net.NumLinks(); l++ {
+		if p := net.Link(network.LinkID(l)).FailProb; p > 0 {
+			fp[int(placement.LinkElement(net, network.LinkID(l)))] = p
+		}
+	}
+	return fp
+}
+
+// GRApps returns the admitted Guaranteed-Rate applications.
+func (s *Scheduler) GRApps() []*PlacedApp { return append([]*PlacedApp(nil), s.gr...) }
+
+// BEApps returns the admitted Best-Effort applications.
+func (s *Scheduler) BEApps() []*PlacedApp { return append([]*PlacedApp(nil), s.be...) }
+
+// BEAvailableCapacities returns a copy of the capacities available to the
+// BE class (base minus GR reservations).
+func (s *Scheduler) BEAvailableCapacities() *network.Capacities { return s.beAvailable.Clone() }
+
+// Utility returns the problem-(4) objective over admitted BE apps:
+// sum of Priority * log(total rate).
+func (s *Scheduler) Utility() float64 {
+	u := 0.0
+	for _, pa := range s.be {
+		u += pa.App.QoS.Priority * math.Log(pa.TotalRate())
+	}
+	return u
+}
+
+// TotalGRRate returns the sum of the reserved rates of admitted GR apps.
+func (s *Scheduler) TotalGRRate() float64 {
+	total := 0.0
+	for _, pa := range s.gr {
+		total += pa.TotalRate()
+	}
+	return total
+}
+
+// Submit runs admission control for one application (Fig. 3): task
+// assignment, path multiplication until the requested availability is met,
+// and resource allocation. It returns the placed application, or an error
+// wrapping ErrRejected when the QoE cannot be met (the scheduler state is
+// then unchanged).
+func (s *Scheduler) Submit(app App) (*PlacedApp, error) {
+	if app.Graph == nil {
+		return nil, errors.New("core: app has no task graph")
+	}
+	switch app.QoS.Class {
+	case GuaranteedRate:
+		return s.submitGR(app)
+	case BestEffort:
+		return s.submitBE(app)
+	default:
+		return nil, fmt.Errorf("core: app %q has unknown QoS class %v", app.Name, app.QoS.Class)
+	}
+}
+
+func (s *Scheduler) maxPaths(app App) int {
+	if app.QoS.MaxPaths > 0 {
+		return app.QoS.MaxPaths
+	}
+	return s.defaultMaxPaths
+}
+
+// submitGR implements the GR algorithm of §IV.D: add paths one at a time
+// (each at the bottleneck rate the residual network supports), reserving
+// their resources, until the min-rate availability target is reached.
+func (s *Scheduler) submitGR(app App) (*PlacedApp, error) {
+	if app.QoS.MinRate <= 0 {
+		return nil, fmt.Errorf("core: GR app %q needs MinRate > 0", app.Name)
+	}
+	residual := s.beAvailable.Clone()
+	var paths []placement.Path
+	maxPaths := s.maxPaths(app)
+	achieved := 0.0
+	for len(paths) < maxPaths {
+		p, err := s.alg.Assign(app.Graph, app.Pins, s.net, s.assignmentView(residual, paths))
+		if err != nil {
+			break
+		}
+		rate := p.Rate(residual)
+		if rate <= 0 || math.IsInf(rate, 1) {
+			break
+		}
+		p.Subtract(residual, rate)
+		paths = append(paths, placement.Path{P: p, Rate: rate})
+
+		a, err := avail.MinRateAuto(availPaths(paths), s.failProbs, app.QoS.MinRate, s.availSamples, s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: GR app %q availability analysis: %w", app.Name, err)
+		}
+		achieved = a
+		if achieved >= app.QoS.MinRateAvailability {
+			pa := &PlacedApp{App: app, Paths: paths, Availability: achieved}
+			s.gr = append(s.gr, pa)
+			s.beAvailable = residual
+			// GR admission shrinks the BE capacity pool: re-allocate.
+			if err := s.reallocateBE(); err != nil {
+				// Roll back the reservation rather than leave BE apps
+				// unallocated.
+				s.gr = s.gr[:len(s.gr)-1]
+				s.beAvailable = s.recomputeBEAvailable()
+				return nil, fmt.Errorf("core: GR app %q starves BE allocation: %w: %w", app.Name, ErrRejected, err)
+			}
+			return pa, nil
+		}
+	}
+	return nil, fmt.Errorf("core: GR app %q: min-rate availability %.4f < requested %.4f with %d path(s): %w",
+		app.Name, achieved, app.QoS.MinRateAvailability, len(paths), ErrRejected)
+}
+
+// submitBE implements the BE pipeline of Fig. 3 steps 1-5: predict this
+// app's capacity share from priorities (eq. (6)), assign paths until the
+// availability target holds, then re-solve problem (4) across all BE apps.
+func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
+	if app.QoS.Priority <= 0 {
+		return nil, fmt.Errorf("core: BE app %q needs Priority > 0", app.Name)
+	}
+	var predicted *network.Capacities
+	if s.noPrediction {
+		// Ablation mode: the newcomer sees whatever is left after the
+		// incumbents' current allocations — the arrival-order-dependent
+		// behaviour eq. (6) exists to avoid.
+		predicted = s.beAvailable.Clone()
+		for _, pa := range s.be {
+			for _, path := range pa.Paths {
+				path.P.Subtract(predicted, path.Rate)
+			}
+		}
+	} else {
+		footprints := make([]alloc.Footprint, 0, len(s.be))
+		for _, pa := range s.be {
+			footprints = append(footprints, alloc.FootprintOf(pa.App.QoS.Priority, pa.Paths))
+		}
+		predicted = alloc.Predict(s.beAvailable, footprints, app.QoS.Priority)
+	}
+
+	var paths []placement.Path
+	maxPaths := s.maxPaths(app)
+	achieved := 0.0
+	for len(paths) < maxPaths {
+		p, err := s.alg.Assign(app.Graph, app.Pins, s.net, s.assignmentView(predicted, paths))
+		if err != nil {
+			break
+		}
+		rate := p.Rate(predicted)
+		if rate <= 0 || math.IsInf(rate, 1) {
+			break
+		}
+		p.Subtract(predicted, rate)
+		paths = append(paths, placement.Path{P: p, Rate: rate})
+
+		a, err := avail.AtLeastOneAuto(availPaths(paths), s.failProbs, s.availSamples, s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: BE app %q availability analysis: %w", app.Name, err)
+		}
+		achieved = a
+		if achieved >= app.QoS.Availability {
+			break
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: BE app %q: no feasible task assignment path: %w", app.Name, ErrRejected)
+	}
+	if achieved < app.QoS.Availability {
+		return nil, fmt.Errorf("core: BE app %q: availability %.4f < requested %.4f with %d path(s): %w",
+			app.Name, achieved, app.QoS.Availability, len(paths), ErrRejected)
+	}
+
+	pa := &PlacedApp{App: app, Paths: paths, Availability: achieved}
+	s.be = append(s.be, pa)
+	if err := s.reallocateBE(); err != nil || pa.TotalRate() <= 0 {
+		s.be = s.be[:len(s.be)-1]
+		if reallocErr := s.reallocateBE(); reallocErr != nil {
+			return nil, fmt.Errorf("core: BE rollback failed: %w", reallocErr)
+		}
+		if err == nil {
+			err = errors.New("allocated rate is zero")
+		}
+		return nil, fmt.Errorf("core: BE app %q: %w: %w", app.Name, ErrRejected, err)
+	}
+	return pa, nil
+}
+
+// reallocateBE re-solves problem (4) for all admitted BE applications and
+// writes the resulting rates back onto their paths. Each path is a flow
+// weighted by Priority/len(paths), so an application's aggregate weight is
+// its priority regardless of how many availability paths it holds.
+func (s *Scheduler) reallocateBE() error {
+	if len(s.be) == 0 {
+		return nil
+	}
+	var flows []alloc.Flow
+	var owners []*placement.Path
+	for _, pa := range s.be {
+		w := pa.App.QoS.Priority / float64(len(pa.Paths))
+		for i := range pa.Paths {
+			flows = append(flows, alloc.Flow{Weight: w, Path: pa.Paths[i].P})
+			owners = append(owners, &pa.Paths[i])
+		}
+	}
+	var (
+		x   []float64
+		err error
+	)
+	if s.maxMin {
+		x, err = alloc.SolveMaxMin(s.beAvailable, flows)
+	} else {
+		x, err = alloc.Solve(s.beAvailable, flows, s.allocOpt)
+	}
+	if err != nil {
+		return fmt.Errorf("core: best-effort rate allocation: %w", err)
+	}
+	for i, rate := range x {
+		owners[i].Rate = rate
+	}
+	return nil
+}
+
+// recomputeBEAvailable rebuilds the BE capacity pool from scratch: the
+// (fluctuation-scaled) base capacities minus every GR reservation.
+func (s *Scheduler) recomputeBEAvailable() *network.Capacities {
+	caps := s.scaledBaseCapacities()
+	for _, pa := range s.gr {
+		for _, p := range pa.Paths {
+			p.P.Subtract(caps, p.Rate)
+		}
+	}
+	return caps
+}
+
+// assignmentView returns the capacities the assignment algorithm should
+// see for the next path: the residual itself at the default bias 1, or a
+// copy with the elements used by earlier paths scaled down to steer the
+// greedy toward untouched elements (WithDiverseMultiPath).
+func (s *Scheduler) assignmentView(residual *network.Capacities, paths []placement.Path) *network.Capacities {
+	if s.diversityBias >= 1 || len(paths) == 0 {
+		return residual
+	}
+	view := residual.Clone()
+	usedNCP := make([]bool, s.net.NumNCPs())
+	usedLink := make([]bool, s.net.NumLinks())
+	for _, path := range paths {
+		for v := 0; v < s.net.NumNCPs(); v++ {
+			if !path.P.NCPLoad(network.NCPID(v)).IsZero() {
+				usedNCP[v] = true
+			}
+		}
+		for l := 0; l < s.net.NumLinks(); l++ {
+			if path.P.LinkLoad(network.LinkID(l)) > 0 {
+				usedLink[l] = true
+			}
+		}
+	}
+	for v, used := range usedNCP {
+		if used {
+			for k := range view.NCP[v] {
+				view.NCP[v][k] *= s.diversityBias
+			}
+		}
+	}
+	for l, used := range usedLink {
+		if used {
+			view.Link[l] *= s.diversityBias
+		}
+	}
+	return view
+}
+
+// availPaths converts placement paths to availability paths.
+func availPaths(paths []placement.Path) []avail.Path {
+	out := make([]avail.Path, len(paths))
+	for i, p := range paths {
+		elems := p.P.UsedElements()
+		ints := make([]int, len(elems))
+		for j, e := range elems {
+			ints[j] = int(e)
+		}
+		out[i] = avail.Path{Elements: ints, Rate: p.Rate}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+)
+
+func TestFluctuationRescalesBERates(t *testing.T) {
+	net := twoBranchNet(t, 100, 0, 1e9, 0)
+	s := New(net)
+	be, err := s.Submit(simpleApp(t, "b", net, 10, QoS{Class: BestEffort, Priority: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := be.TotalRate(); math.Abs(got-10) > 1e-6 {
+		t.Fatalf("nominal rate = %v", got)
+	}
+	m1, _ := net.NCPIDByName("m1")
+	rep, err := s.ApplyFluctuation(ElementScale{placement.NCPElement(m1): 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.BERates["b"]; math.Abs(got-5) > 1e-6 {
+		t.Fatalf("degraded rate = %v, want 5", got)
+	}
+	if got := be.TotalRate(); math.Abs(got-5) > 1e-6 {
+		t.Fatalf("placed app rate = %v, want 5", got)
+	}
+	// Restoring nominal capacity restores the rate.
+	rep, err = s.ApplyFluctuation(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.BERates["b"]; math.Abs(got-10) > 1e-6 {
+		t.Fatalf("restored rate = %v, want 10", got)
+	}
+}
+
+func TestFluctuationReportsGRViolations(t *testing.T) {
+	net := twoBranchNet(t, 100, 50, 1e6, 0)
+	s := New(net)
+	if _, err := s.Submit(simpleApp(t, "g", net, 10, QoS{
+		Class: GuaranteedRate, MinRate: 5, MinRateAvailability: 0.9, MaxPaths: 1,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := net.NCPIDByName("m1")
+	// The GR path reserved m1 fully; halving it violates the guarantee.
+	rep, err := s.ApplyFluctuation(ElementScale{placement.NCPElement(m1): 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ViolatedGR) != 1 || rep.ViolatedGR[0] != "g" {
+		t.Fatalf("violated = %v, want [g]", rep.ViolatedGR)
+	}
+	// Scaling an untouched element reports no violation.
+	m2, _ := net.NCPIDByName("m2")
+	rep, err = s.ApplyFluctuation(ElementScale{placement.NCPElement(m2): 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ViolatedGR) != 0 {
+		t.Fatalf("violated = %v, want none", rep.ViolatedGR)
+	}
+}
+
+func TestFluctuationAffectsLaterSubmissions(t *testing.T) {
+	net := twoBranchNet(t, 100, 0, 1e9, 0)
+	s := New(net)
+	m1, _ := net.NCPIDByName("m1")
+	if _, err := s.ApplyFluctuation(ElementScale{placement.NCPElement(m1): 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := s.Submit(simpleApp(t, "b", net, 10, QoS{Class: BestEffort, Priority: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pa.TotalRate(); math.Abs(got-2.5) > 1e-6 {
+		t.Fatalf("rate under degraded network = %v, want 2.5", got)
+	}
+}
+
+func TestFluctuationLinkScaling(t *testing.T) {
+	net := twoBranchNet(t, 1e9, 0, 100, 0) // links bind: rate = 100/1 = 100
+	s := New(net)
+	be, err := s.Submit(simpleApp(t, "b", net, 1, QoS{Class: BestEffort, Priority: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := be.TotalRate()
+	// Scale every link the app's path uses.
+	scale := ElementScale{}
+	for _, e := range be.Paths[0].P.UsedElements() {
+		if int(e) >= net.NumNCPs() {
+			scale[e] = 0.5
+		}
+	}
+	rep, err := s.ApplyFluctuation(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.BERates["b"]; math.Abs(got-nominal/2) > 1e-6 {
+		t.Fatalf("rate = %v, want %v", got, nominal/2)
+	}
+}
+
+func TestFluctuationValidation(t *testing.T) {
+	net := twoBranchNet(t, 100, 100, 1e6, 0)
+	s := New(net)
+	if _, err := s.ApplyFluctuation(ElementScale{placement.Element(999): 0.5}); err == nil {
+		t.Fatal("unknown element must error")
+	}
+	if _, err := s.ApplyFluctuation(ElementScale{placement.NCPElement(network.NCPID(0)): -1}); err == nil {
+		t.Fatal("negative scale must error")
+	}
+}

@@ -1,0 +1,24 @@
+package core
+
+import "fmt"
+
+// Remove withdraws an admitted application by name, releasing its
+// resources: a departing GR application returns its reservation to the BE
+// pool, and the Best-Effort allocation is re-solved either way. Removing
+// an unknown name is an error.
+func (s *Scheduler) Remove(name string) error {
+	for i, pa := range s.gr {
+		if pa.App.Name == name {
+			s.gr = append(s.gr[:i], s.gr[i+1:]...)
+			s.beAvailable = s.recomputeBEAvailable()
+			return s.reallocateBE()
+		}
+	}
+	for i, pa := range s.be {
+		if pa.App.Name == name {
+			s.be = append(s.be[:i], s.be[i+1:]...)
+			return s.reallocateBE()
+		}
+	}
+	return fmt.Errorf("core: no admitted application named %q", name)
+}

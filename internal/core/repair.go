@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Repair re-places a Guaranteed-Rate application whose reservation was
+// broken by a capacity fluctuation (see ApplyFluctuation): the old task
+// assignment paths are released and fresh paths are sought on the current
+// (possibly degraded) network until the application's min-rate
+// availability target holds again.
+//
+// The paper's no-migration constraint exists to avoid task migration costs
+// for *working* applications; once a guarantee is already violated,
+// re-placing is the reasonable operator action, so Repair is the one
+// operation in this package that moves tasks. If no satisfying placement
+// exists the original (violated) placement is restored and the error wraps
+// ErrRejected, leaving the operator to decide between degraded service and
+// removal.
+func (s *Scheduler) Repair(name string) (*PlacedApp, error) {
+	idx := -1
+	for i, pa := range s.gr {
+		if pa.App.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("core: no admitted guaranteed-rate application named %q", name)
+	}
+	old := s.gr[idx]
+	// Release the old reservation.
+	s.gr = append(s.gr[:idx], s.gr[idx+1:]...)
+	s.beAvailable = s.recomputeBEAvailable()
+
+	repaired, err := s.submitGR(old.App)
+	if err != nil {
+		// Restore the previous (violated) placement so the operator
+		// keeps whatever service remains.
+		s.gr = append(s.gr, old)
+		s.beAvailable = s.recomputeBEAvailable()
+		if reallocErr := s.reallocateBE(); reallocErr != nil {
+			return nil, fmt.Errorf("core: repair rollback failed: %w", reallocErr)
+		}
+		return nil, fmt.Errorf("core: repair of %q failed: %w", name, err)
+	}
+	return repaired, nil
+}

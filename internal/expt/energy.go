@@ -1,0 +1,58 @@
+package expt
+
+import (
+	"math"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+)
+
+// Energy model (§V.B.2, Fig. 9): CPU power draw is proportional to CPU
+// utilization [11] and radio power to the transmit/receive data rate [19].
+// The constants set the scale only — energy-efficiency comparisons between
+// algorithms are scale free.
+const (
+	// cpuPowerW is the power of a fully utilized NCP, watts.
+	cpuPowerW = 2.0
+	// radioPowerWPerMb is the combined tx+rx power per megabit-per-second
+	// crossing a link, watts.
+	radioPowerWPerMb = 0.8
+)
+
+// EnergyEfficiency returns data units processed per joule for a placement
+// running at the given rate: rate / total power. A zero rate (or a failed
+// placement) has zero efficiency.
+func EnergyEfficiency(p *placement.Placement, caps *network.Capacities, rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	power := 0.0
+	for v := 0; v < p.Net.NumNCPs(); v++ {
+		load := p.NCPLoad(network.NCPID(v))
+		if load.IsZero() {
+			continue
+		}
+		util := 0.0
+		for k, a := range load {
+			c := caps.NCP[v][k]
+			if c <= 0 {
+				return 0 // placed on a dead element: no useful work
+			}
+			if u := rate * a / c; u > util {
+				util = u
+			}
+		}
+		power += cpuPowerW * math.Min(util, 1)
+	}
+	for l := 0; l < p.Net.NumLinks(); l++ {
+		bits := p.LinkLoad(network.LinkID(l))
+		if bits <= 0 {
+			continue
+		}
+		power += radioPowerWPerMb * rate * bits
+	}
+	if power <= 0 {
+		return 0
+	}
+	return rate / power
+}

@@ -1,0 +1,15 @@
+package expt
+
+import (
+	"math/rand"
+
+	"sparcle/internal/assign"
+	"sparcle/internal/placement"
+	"sparcle/internal/workload"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func sparcleAssign(inst *workload.Instance) (*placement.Placement, error) {
+	return assign.Sparcle{}.Assign(inst.Graph, inst.Pins, inst.Net, inst.Net.BaseCapacities())
+}

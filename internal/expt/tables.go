@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"fmt"
+
+	"sparcle/internal/workload"
+)
+
+// Table1Result reproduces Table I: the dispersed computing network
+// parameters of the experimental testbed.
+type Table1Result struct{}
+
+// Table1 returns the Table I parameters.
+func Table1(Config) (*Table1Result, error) { return &Table1Result{}, nil }
+
+// Table renders Table I.
+func (*Table1Result) Table() *Table {
+	t := &Table{
+		Title:   "Table I — dispersed computing network parameters",
+		Headers: []string{"network element", "capacity"},
+		Notes:   []string{"field bandwidth is the Fig. 6 sweep variable (0.5 / 10 / 22 Mbps)"},
+	}
+	t.AddRow("Cloud CPU", fmt.Sprintf("%.0f MHz (4 x 3.8 GHz)", workload.CloudCPUMHz))
+	t.AddRow("Field CPU", fmt.Sprintf("%.0f MHz", workload.FieldCPUMHz))
+	t.AddRow("Cloud BW", fmt.Sprintf("%.0f Mbps", workload.CloudBWMbps))
+	return t
+}
+
+// Table2Result reproduces Table II: the face detection application's
+// per-image requirements.
+type Table2Result struct{}
+
+// Table2 returns the Table II parameters.
+func Table2(Config) (*Table2Result, error) { return &Table2Result{}, nil }
+
+// Table renders Table II.
+func (*Table2Result) Table() *Table {
+	t := &Table{
+		Title:   "Table II — face detection application parameters",
+		Headers: []string{"task", "resource requirement"},
+	}
+	t.AddRow("resize", fmt.Sprintf("%.0f MC/image", workload.ResizeMC))
+	t.AddRow("denoise", fmt.Sprintf("%.0f MC/image", workload.DenoiseMC))
+	t.AddRow("edge detection", fmt.Sprintf("%.0f MC/image", workload.EdgeDetectionMC))
+	t.AddRow("face detection", fmt.Sprintf("%.0f MC/image", workload.FaceDetectionMC))
+	t.AddRow("raw image transport", fmt.Sprintf("%.3f Mb/image (3.1 MB)", workload.RawImageMb))
+	t.AddRow("resized image transport", fmt.Sprintf("%.3f Mb/image (182 kB)", workload.ResizedImageMb))
+	t.AddRow("denoised image transport", fmt.Sprintf("%.3f Mb/image (145 kB)", workload.DenoisedImageMb))
+	t.AddRow("edge map transport", fmt.Sprintf("%.3f Mb/image (188 kB)", workload.EdgeMapMb))
+	t.AddRow("detected faces transport", fmt.Sprintf("%.3f Mb/image (11 kB)", workload.DetectedFacesMb))
+	return t
+}

@@ -1,0 +1,146 @@
+// Package graph provides small graph algorithms shared by the task-graph
+// (application DAG) and computing-network models: topological sorting,
+// reachability bitsets, BFS shortest paths, and connectivity checks.
+//
+// Graphs are represented as adjacency lists over integer vertex indices
+// 0..n-1, which both higher-level models already use internally.
+package graph
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrCycle is returned by TopoSort when the digraph contains a cycle.
+var ErrCycle = errors.New("graph: not a DAG (cycle detected)")
+
+// TopoSort returns a topological order of the digraph given by out-adjacency
+// lists, or ErrCycle if the graph has a cycle. The order is deterministic
+// (Kahn's algorithm with a FIFO frontier seeded in index order).
+func TopoSort(adj [][]int) ([]int, error) {
+	n := len(adj)
+	indeg := make([]int, n)
+	for _, outs := range adj {
+		for _, v := range outs {
+			indeg[v]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range adj[v] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Bitset is a fixed-capacity set of small non-negative integers.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold values 0..n-1.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set adds i to the set.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Has reports whether i is in the set.
+func (b Bitset) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Or accumulates o into b.
+func (b Bitset) Or(o Bitset) {
+	for i := range o {
+		b[i] |= o[i]
+	}
+}
+
+// Count returns the number of elements in the set.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reachability returns, for every vertex v, the set of vertices reachable
+// from v by following directed edges (v itself excluded unless it lies on a
+// cycle through itself; for DAGs it is always excluded). adj must be a DAG
+// for the result to be computed in a single reverse-topological pass; for
+// general digraphs use ReachabilityBFS.
+func Reachability(adj [][]int) ([]Bitset, error) {
+	order, err := TopoSort(adj)
+	if err != nil {
+		return nil, err
+	}
+	n := len(adj)
+	reach := make([]Bitset, n)
+	for i := range reach {
+		reach[i] = NewBitset(n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		for _, u := range adj[v] {
+			reach[v].Set(u)
+			reach[v].Or(reach[u])
+		}
+	}
+	return reach, nil
+}
+
+// BFSPaths runs a breadth-first search from src over the adjacency lists and
+// returns dist (hop counts, -1 if unreachable) and prev (predecessor vertex,
+// -1 for src and unreachable vertices).
+func BFSPaths(adj [][]int, src int) (dist, prev []int) {
+	n := len(adj)
+	dist = make([]int, n)
+	prev = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		prev[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				prev[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist, prev
+}
+
+// Connected reports whether the undirected graph given by symmetric
+// adjacency lists is connected. The empty graph is connected.
+func Connected(adj [][]int) bool {
+	n := len(adj)
+	if n == 0 {
+		return true
+	}
+	dist, _ := BFSPaths(adj, 0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopoSortChain(t *testing.T) {
+	adj := [][]int{{1}, {2}, {3}, nil}
+	order, err := TopoSort(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	adj := [][]int{{1}, {2}, {0}}
+	if _, err := TopoSort(adj); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestTopoSortEmpty(t *testing.T) {
+	order, err := TopoSort(nil)
+	if err != nil || len(order) != 0 {
+		t.Fatalf("TopoSort(nil) = %v, %v", order, err)
+	}
+}
+
+func TestTopoSortProperty(t *testing.T) {
+	// For random DAGs (edges only low->high), every edge must respect the
+	// returned order.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+		order, err := TopoSort(adj)
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for idx, v := range order {
+			pos[v] = idx
+		}
+		for v, outs := range adj {
+			for _, u := range outs {
+				if pos[v] >= pos[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Has(0) || !b.Has(64) || !b.Has(129) || b.Has(1) {
+		t.Fatal("Set/Has wrong")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	o := NewBitset(130)
+	o.Set(5)
+	b.Or(o)
+	if !b.Has(5) || b.Count() != 4 {
+		t.Fatal("Or wrong")
+	}
+}
+
+func TestReachabilityDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3
+	adj := [][]int{{1, 2}, {3}, {3}, nil}
+	reach, err := Reachability(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reach[0].Has(1) || !reach[0].Has(2) || !reach[0].Has(3) {
+		t.Fatal("0 must reach 1,2,3")
+	}
+	if reach[0].Has(0) {
+		t.Fatal("DAG vertex must not reach itself")
+	}
+	if reach[3].Count() != 0 {
+		t.Fatal("sink reaches nothing")
+	}
+	if reach[1].Has(2) || reach[2].Has(1) {
+		t.Fatal("parallel branches must not reach each other")
+	}
+}
+
+func TestReachabilityCycleErrors(t *testing.T) {
+	if _, err := Reachability([][]int{{1}, {0}}); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestBFSPaths(t *testing.T) {
+	// 0 - 1 - 2, and isolated 3 (symmetric adjacency).
+	adj := [][]int{{1}, {0, 2}, {1}, nil}
+	dist, prev := BFSPaths(adj, 0)
+	if dist[2] != 2 || prev[2] != 1 || prev[1] != 0 {
+		t.Fatalf("dist=%v prev=%v", dist, prev)
+	}
+	if dist[3] != -1 || prev[3] != -1 {
+		t.Fatal("unreachable vertex must have dist -1")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Connected([][]int{{1}, {0}}) {
+		t.Fatal("pair should be connected")
+	}
+	if Connected([][]int{{1}, {0}, nil}) {
+		t.Fatal("isolated vertex should disconnect")
+	}
+	if !Connected(nil) {
+		t.Fatal("empty graph is connected")
+	}
+}

@@ -1,0 +1,290 @@
+// Package network models the dispersed computing network of §III.B of the
+// SPARCLE paper: a graph whose vertices are networked computing points
+// (NCPs) with multi-resource computation capacities and whose edges are
+// communication links with bandwidth capacities. Every element (NCP or
+// link) can fail independently with a known probability, which drives the
+// availability analysis of BE and GR applications.
+//
+// The topology itself is immutable once built; the mutable residual
+// capacities used by schedulers live in the separate Capacities type so
+// that multiple what-if computations can share one Network.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sparcle/internal/graph"
+	"sparcle/internal/resource"
+)
+
+// NCPID identifies a computing node within one Network (a dense index).
+type NCPID int
+
+// LinkID identifies a link within one Network (a dense index).
+type LinkID int
+
+// NCP is a networked computing point.
+type NCP struct {
+	Name string
+	// Capacity holds the computation capabilities per resource kind, e.g.
+	// CPU megacycles per second (MHz).
+	Capacity resource.Vector
+	// FailProb is the probability the NCP is failed or unavailable at any
+	// point of its operation (independent across elements).
+	FailProb float64
+}
+
+// Link is a communication link between two NCPs. By default links are
+// undirected — the bandwidth is shared by traffic in both directions,
+// the paper's default network model — but a link may be directed, usable
+// only from A to B with its own dedicated bandwidth (footnote 2 of the
+// paper: model the network "with either an undirected or a directed
+// graph, if the bandwidth of the links between two nodes is shared or not
+// shared in different directions").
+type Link struct {
+	Name string
+	A, B NCPID
+	// Bandwidth is the link capacity in bits per second.
+	Bandwidth float64
+	// FailProb is the probability the link is failed at any point.
+	FailProb float64
+	// Directed restricts traversal to the A -> B direction.
+	Directed bool
+}
+
+// Network is an immutable dispersed computing network topology.
+type Network struct {
+	name  string
+	ncps  []NCP
+	links []Link
+	// incident[v] lists the links incident to NCP v.
+	incident [][]LinkID
+}
+
+// Builder incrementally constructs a Network.
+type Builder struct {
+	name  string
+	ncps  []NCP
+	links []Link
+	err   error
+}
+
+// NewBuilder returns a Builder for a network with the given name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// AddNCP appends a computing node and returns its id. The capacity vector
+// is cloned.
+func (b *Builder) AddNCP(name string, capacity resource.Vector, failProb float64) NCPID {
+	if failProb < 0 || failProb > 1 || math.IsNaN(failProb) {
+		b.setErr(fmt.Errorf("network: NCP %q has invalid failure probability %v", name, failProb))
+	}
+	b.ncps = append(b.ncps, NCP{Name: name, Capacity: capacity.Clone(), FailProb: failProb})
+	return NCPID(len(b.ncps) - 1)
+}
+
+// AddLink appends an undirected link between a and b and returns its id.
+func (b *Builder) AddLink(name string, a, c NCPID, bandwidth, failProb float64) LinkID {
+	return b.addLink(name, a, c, bandwidth, failProb, false)
+}
+
+// AddDirectedLink appends a link usable only from `from` to `to` with its
+// own dedicated bandwidth. Add a second directed link for the reverse
+// direction to model full-duplex capacity.
+func (b *Builder) AddDirectedLink(name string, from, to NCPID, bandwidth, failProb float64) LinkID {
+	return b.addLink(name, from, to, bandwidth, failProb, true)
+}
+
+func (b *Builder) addLink(name string, a, c NCPID, bandwidth, failProb float64, directed bool) LinkID {
+	id := LinkID(len(b.links))
+	if a < 0 || int(a) >= len(b.ncps) || c < 0 || int(c) >= len(b.ncps) {
+		b.setErr(fmt.Errorf("network: link %q references undefined NCP (%d -- %d)", name, a, c))
+	}
+	if a == c {
+		b.setErr(fmt.Errorf("network: link %q is a self-loop on NCP %d", name, a))
+	}
+	if bandwidth < 0 || math.IsNaN(bandwidth) || math.IsInf(bandwidth, 0) {
+		b.setErr(fmt.Errorf("network: link %q has invalid bandwidth %v", name, bandwidth))
+	}
+	if failProb < 0 || failProb > 1 || math.IsNaN(failProb) {
+		b.setErr(fmt.Errorf("network: link %q has invalid failure probability %v", name, failProb))
+	}
+	b.links = append(b.links, Link{Name: name, A: a, B: c, Bandwidth: bandwidth, FailProb: failProb, Directed: directed})
+	return id
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates and freezes the network. The network must be non-empty;
+// disconnected networks are allowed (the paper's dispersed setting permits
+// partitions), and schedulers treat unreachable host pairs as infeasible.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.ncps) == 0 {
+		return nil, errors.New("network: no NCPs")
+	}
+	for _, n := range b.ncps {
+		if !n.Capacity.NonNegative() {
+			return nil, fmt.Errorf("network: NCP %q has negative capacity %v", n.Name, n.Capacity)
+		}
+	}
+	net := &Network{
+		name:  b.name,
+		ncps:  append([]NCP(nil), b.ncps...),
+		links: append([]Link(nil), b.links...),
+	}
+	net.incident = make([][]LinkID, len(net.ncps))
+	for id, l := range net.links {
+		net.incident[l.A] = append(net.incident[l.A], LinkID(id))
+		if !l.Directed {
+			net.incident[l.B] = append(net.incident[l.B], LinkID(id))
+		}
+	}
+	return net, nil
+}
+
+// Name returns the network name.
+func (n *Network) Name() string { return n.name }
+
+// NumNCPs returns the number of computing nodes.
+func (n *Network) NumNCPs() int { return len(n.ncps) }
+
+// NumLinks returns the number of links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// NCP returns the computing node with the given id.
+func (n *Network) NCP(id NCPID) NCP { return n.ncps[id] }
+
+// Link returns the link with the given id.
+func (n *Network) Link(id LinkID) Link { return n.links[id] }
+
+// Incident returns the links traversable from NCP v: every undirected
+// link touching v plus the directed links leaving v.
+func (n *Network) Incident(v NCPID) []LinkID { return n.incident[v] }
+
+// Other returns the endpoint of link l that is not v.
+func (n *Network) Other(l LinkID, v NCPID) NCPID {
+	link := n.links[l]
+	if link.A == v {
+		return link.B
+	}
+	return link.A
+}
+
+// Connected reports whether every NCP is reachable from NCP 0 following
+// traversable links (for purely undirected networks this is ordinary
+// connectivity; with directed links it is reachability from NCP 0).
+func (n *Network) Connected() bool {
+	adj := make([][]int, len(n.ncps))
+	for v := range adj {
+		for _, l := range n.incident[v] {
+			adj[v] = append(adj[v], int(n.Other(l, NCPID(v))))
+		}
+	}
+	return graph.Connected(adj)
+}
+
+// NCPIDByName returns the id of the NCP with the given name.
+func (n *Network) NCPIDByName(name string) (NCPID, bool) {
+	for i, ncp := range n.ncps {
+		if ncp.Name == name {
+			return NCPID(i), true
+		}
+	}
+	return -1, false
+}
+
+// String returns a short human-readable description.
+func (n *Network) String() string {
+	return fmt.Sprintf("network %q (%d NCPs, %d links)", n.name, len(n.ncps), len(n.links))
+}
+
+// Capacities holds the mutable residual capacities of a network's elements:
+// what remains available to the next application (or next task-assignment
+// path) after earlier placements reserved their shares.
+type Capacities struct {
+	// NCP[i] is the residual capacity vector of NCP i.
+	NCP []resource.Vector
+	// Link[j] is the residual bandwidth of link j.
+	Link []float64
+}
+
+// BaseCapacities returns a fresh Capacities equal to the network's full
+// element capacities.
+func (n *Network) BaseCapacities() *Capacities {
+	c := &Capacities{
+		NCP:  make([]resource.Vector, len(n.ncps)),
+		Link: make([]float64, len(n.links)),
+	}
+	for i, ncp := range n.ncps {
+		c.NCP[i] = ncp.Capacity.Clone()
+	}
+	for j, l := range n.links {
+		c.Link[j] = l.Bandwidth
+	}
+	return c
+}
+
+// Clone returns an independent copy of c.
+func (c *Capacities) Clone() *Capacities {
+	out := &Capacities{
+		NCP:  make([]resource.Vector, len(c.NCP)),
+		Link: append([]float64(nil), c.Link...),
+	}
+	for i, v := range c.NCP {
+		out.NCP[i] = v.Clone()
+	}
+	return out
+}
+
+// SubtractNCP removes s*req from NCP v's residual capacity, clamping at
+// zero to absorb floating-point residue.
+func (c *Capacities) SubtractNCP(v NCPID, req resource.Vector, s float64) {
+	if c.NCP[v] == nil {
+		c.NCP[v] = resource.Vector{}
+	}
+	c.NCP[v].AddScaled(req, -s)
+	clampVector(c.NCP[v])
+}
+
+// SubtractLink removes s*bits from link l's residual bandwidth, clamping at
+// zero.
+func (c *Capacities) SubtractLink(l LinkID, bits, s float64) {
+	c.Link[l] -= bits * s
+	if c.Link[l] < 0 && c.Link[l] > -1e-9*bits*s {
+		c.Link[l] = 0
+	}
+	if c.Link[l] < 0 {
+		c.Link[l] = 0
+	}
+}
+
+func clampVector(v resource.Vector) {
+	for k, a := range v {
+		if a < 0 {
+			v[k] = 0
+		}
+	}
+}
+
+// NonNegative reports whether no residual capacity is negative.
+func (c *Capacities) NonNegative() bool {
+	for _, v := range c.NCP {
+		if !v.NonNegative() {
+			return false
+		}
+	}
+	for _, bw := range c.Link {
+		if bw < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparcle/internal/network"
+	"sparcle/internal/taskgraph"
+)
+
+// DOT renders the placement as a Graphviz digraph: one cluster per NCP
+// that hosts tasks, CTs as nodes inside their host's cluster, TTs as edges
+// labeled with their per-unit bits and the link route they follow.
+// Unplaced tasks render outside any cluster. The output is stable across
+// runs (sorted by ids) so it can be golden-tested and diffed.
+func (p *Placement) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph placement {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", fmt.Sprintf("%s on %s", p.Graph.Name(), p.Net.Name()))
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+
+	// Group CTs by host.
+	byHost := map[network.NCPID][]taskgraph.CTID{}
+	var unplaced []taskgraph.CTID
+	for ct := 0; ct < p.Graph.NumCTs(); ct++ {
+		id := taskgraph.CTID(ct)
+		if h := p.Host(id); h >= 0 {
+			byHost[h] = append(byHost[h], id)
+		} else {
+			unplaced = append(unplaced, id)
+		}
+	}
+	hosts := make([]network.NCPID, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, h := range hosts {
+		fmt.Fprintf(&b, "  subgraph cluster_ncp%d {\n", h)
+		fmt.Fprintf(&b, "    label=%q;\n    style=rounded;\n", p.Net.NCP(h).Name)
+		for _, ct := range byHost[h] {
+			fmt.Fprintf(&b, "    ct%d [label=%q];\n", ct, p.Graph.CT(ct).Name)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, ct := range unplaced {
+		fmt.Fprintf(&b, "  ct%d [label=%q, style=dashed];\n", ct, p.Graph.CT(ct).Name)
+	}
+
+	for tt := 0; tt < p.Graph.NumTTs(); tt++ {
+		id := taskgraph.TTID(tt)
+		e := p.Graph.TT(id)
+		label := fmt.Sprintf("%s (%g)", e.Name, e.Bits)
+		if route, ok := p.Route(id); ok && len(route) > 0 {
+			names := make([]string, len(route))
+			for i, l := range route {
+				names[i] = p.Net.Link(l).Name
+			}
+			label += "\\nvia " + strings.Join(names, ",")
+		}
+		fmt.Fprintf(&b, "  ct%d -> ct%d [label=%q];\n", e.From, e.To, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

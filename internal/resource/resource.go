@@ -1,0 +1,164 @@
+// Package resource defines resource kinds and requirement/capacity vectors
+// shared by the task-graph and computing-network models.
+//
+// A Vector maps a resource kind to an amount. For computation tasks the
+// amount is the quantity of that resource consumed to process one data unit
+// (e.g. CPU megacycles per image); for NCPs it is the capacity per second
+// (e.g. MHz). Transport tasks and links use the single Bandwidth kind.
+package resource
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind identifies one resource type.
+type Kind string
+
+// Standard resource kinds used across the system. Scenarios may introduce
+// their own kinds; nothing in the algorithms depends on this list.
+const (
+	CPU       Kind = "cpu"
+	Memory    Kind = "memory"
+	Bandwidth Kind = "bandwidth"
+)
+
+// Vector maps resource kinds to amounts. The nil map is a valid empty
+// vector (a task that consumes nothing, or an element with no capacity).
+type Vector map[Kind]float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	for k, a := range v {
+		out[k] = a
+	}
+	return out
+}
+
+// Get returns the amount for kind k, or zero if absent.
+func (v Vector) Get(k Kind) float64 { return v[k] }
+
+// Add accumulates w into v in place and returns v. Missing keys are created.
+func (v Vector) Add(w Vector) Vector {
+	for k, a := range w {
+		v[k] += a
+	}
+	return v
+}
+
+// AddScaled accumulates s*w into v in place and returns v.
+func (v Vector) AddScaled(w Vector, s float64) Vector {
+	for k, a := range w {
+		v[k] += a * s
+	}
+	return v
+}
+
+// Sub subtracts w from v in place and returns v.
+func (v Vector) Sub(w Vector) Vector {
+	for k, a := range w {
+		v[k] -= a
+	}
+	return v
+}
+
+// Scale multiplies every component of v by s in place and returns v.
+func (v Vector) Scale(s float64) Vector {
+	for k := range v {
+		v[k] *= s
+	}
+	return v
+}
+
+// IsZero reports whether every component of v is zero.
+func (v Vector) IsZero() bool {
+	for _, a := range v {
+		if a != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether no component of v is negative.
+func (v Vector) NonNegative() bool {
+	for _, a := range v {
+		if a < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w have the same non-zero components.
+func (v Vector) Equal(w Vector) bool {
+	for k, a := range v {
+		if w[k] != a {
+			return false
+		}
+	}
+	for k, a := range w {
+		if v[k] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// DivMin returns min over kinds k present in load (with load[k] > 0) of
+// capacity[k] / load[k]: the largest rate a capacity vector can sustain for
+// a per-unit load vector. A zero or entirely absent load imposes no
+// constraint and yields +Inf. A positive load against zero capacity yields 0.
+func DivMin(capacity, load Vector) float64 {
+	rate := math.Inf(1)
+	for k, a := range load {
+		if a <= 0 {
+			continue
+		}
+		if r := capacity[k] / a; r < rate {
+			rate = r
+		}
+	}
+	return rate
+}
+
+// String renders the vector with kinds in sorted order, e.g.
+// "{cpu: 9880, memory: 12}".
+func (v Vector) String() string {
+	if len(v) == 0 {
+		return "{}"
+	}
+	kinds := make([]string, 0, len(v))
+	for k := range v {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %g", k, v[Kind(k)])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Kinds returns the sorted list of kinds present in v with non-zero amounts.
+func (v Vector) Kinds() []Kind {
+	kinds := make([]Kind, 0, len(v))
+	for k, a := range v {
+		if a != 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}

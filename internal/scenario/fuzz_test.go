@@ -1,0 +1,38 @@
+package scenario
+
+import "testing"
+
+// FuzzParse exercises the scenario parser and builders against arbitrary
+// input: they must never panic, and anything that parses and builds must
+// round-trip through Encode/Parse.
+func FuzzParse(f *testing.F) {
+	example, err := Example().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(example))
+	f.Add(`{}`)
+	f.Add(`{"network":{"name":"n","ncps":[{"name":"a"}]},"apps":[]}`)
+	f.Add(`{"network":{"ncps":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","a":"a","b":"b","bandwidth":5,"directed":true}]}}`)
+	f.Add(`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"be"}}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		file, err := Parse([]byte(data))
+		if err != nil {
+			return
+		}
+		net, err := file.BuildNetwork()
+		if err != nil {
+			return
+		}
+		if _, err := file.BuildApps(net); err != nil {
+			return
+		}
+		encoded, err := file.Encode()
+		if err != nil {
+			t.Fatalf("valid scenario failed to encode: %v", err)
+		}
+		if _, err := Parse(encoded); err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"sparcle/internal/core"
+	"sparcle/internal/resource"
+)
+
+func TestExampleRoundTrip(t *testing.T) {
+	f := Example()
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Apps) != 1 || parsed.Apps[0].Name != "face-detection" {
+		t.Fatalf("round trip lost apps: %+v", parsed.Apps)
+	}
+	if len(parsed.Network.NCPs) != 7 || len(parsed.Network.Links) != 8 {
+		t.Fatalf("round trip lost network: %d NCPs %d links", len(parsed.Network.NCPs), len(parsed.Network.Links))
+	}
+}
+
+func TestExampleSchedules(t *testing.T) {
+	f := Example()
+	net, err := f.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := f.BuildApps(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(net)
+	pa, err := s.Submit(apps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This is the 10 Mbps testbed: the known optimal single path is the
+	// cloud at 0.4018 images/s; SPARCLE's aggregate must be at least that.
+	if got := pa.TotalRate(); got < 0.40 {
+		t.Fatalf("rate = %v, want >= 0.40", got)
+	}
+}
+
+func TestBuildNetworkValidation(t *testing.T) {
+	base := Example()
+	t.Run("duplicate ncp", func(t *testing.T) {
+		f := *base
+		f.Network.NCPs = append(f.Network.NCPs, NCPSpec{Name: "ncp1"})
+		if _, err := f.BuildNetwork(); err == nil {
+			t.Fatal("want duplicate error")
+		}
+	})
+	t.Run("unknown endpoint", func(t *testing.T) {
+		f := *base
+		f.Network.Links = append([]LinkSpec(nil), base.Network.Links...)
+		f.Network.Links = append(f.Network.Links, LinkSpec{Name: "x", A: "ncp1", B: "nope", Bandwidth: 1})
+		if _, err := f.BuildNetwork(); err == nil {
+			t.Fatal("want unknown NCP error")
+		}
+	})
+	t.Run("empty name", func(t *testing.T) {
+		f := *base
+		f.Network.NCPs = append([]NCPSpec(nil), base.Network.NCPs...)
+		f.Network.NCPs = append(f.Network.NCPs, NCPSpec{})
+		if _, err := f.BuildNetwork(); err == nil {
+			t.Fatal("want empty-name error")
+		}
+	})
+}
+
+func TestBuildAppsValidation(t *testing.T) {
+	net, err := Example().BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := Example().Apps[0]
+
+	mutate := func(fn func(*AppSpec)) error {
+		spec := valid
+		spec.CTs = append([]CTSpec(nil), valid.CTs...)
+		spec.TTs = append([]TTSpec(nil), valid.TTs...)
+		fn(&spec)
+		_, err := BuildApp(spec, net)
+		return err
+	}
+
+	if err := mutate(func(s *AppSpec) { s.CTs[0].Host = "nope" }); err == nil {
+		t.Fatal("unknown pin host must error")
+	}
+	if err := mutate(func(s *AppSpec) { s.TTs[0].From = "nope" }); err == nil {
+		t.Fatal("unknown TT endpoint must error")
+	}
+	if err := mutate(func(s *AppSpec) { s.CTs[1].Name = "camera" }); err == nil {
+		t.Fatal("duplicate CT name must error")
+	}
+	if err := mutate(func(s *AppSpec) { s.QoS.Class = "super" }); err == nil {
+		t.Fatal("unknown class must error")
+	}
+	if err := mutate(func(s *AppSpec) { s.CTs[0].Name = "" }); err == nil {
+		t.Fatal("empty CT name must error")
+	}
+}
+
+func TestQoSDefaults(t *testing.T) {
+	qos, err := buildQoS("a", QoSSpec{Class: "be"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qos.Class != core.BestEffort || qos.Priority != 1 {
+		t.Fatalf("BE defaults wrong: %+v", qos)
+	}
+	qos, err = buildQoS("a", QoSSpec{Class: "GR", MinRate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qos.Class != core.GuaranteedRate || qos.MinRate != 2 {
+		t.Fatalf("GR parse wrong: %+v", qos)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"network": {}, "bogus": 1}`)); err == nil {
+		t.Fatal("unknown fields must be rejected")
+	}
+	if _, err := Parse([]byte(`{invalid`)); err == nil {
+		t.Fatal("invalid JSON must be rejected")
+	}
+}
+
+func TestVector(t *testing.T) {
+	if vector(nil) != nil {
+		t.Fatal("nil map must give nil vector")
+	}
+	v := vector(map[string]float64{"cpu": 5})
+	if v[resource.CPU] != 5 {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestExampleEncodesStable(t *testing.T) {
+	data, err := Example().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"cloud-field"`, `"face-detection"`, `"raw-images"`, `"best-effort"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("encoded example missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"sparcle/internal/scenario"
+)
+
+// Client is a typed Go client for the sparcle-server API, so deployments
+// can drive the control plane programmatically.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://10.0.0.5:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.StatusCode, e.Message)
+}
+
+// AppStatus mirrors the server's application view.
+type AppStatus struct {
+	Name         string       `json:"name"`
+	Class        string       `json:"class"`
+	TotalRate    float64      `json:"totalRate"`
+	Availability float64      `json:"availability"`
+	Paths        []PathStatus `json:"paths"`
+}
+
+// PathStatus mirrors one task assignment path.
+type PathStatus struct {
+	Rate  float64           `json:"rate"`
+	Hosts map[string]string `json:"hosts"`
+}
+
+// FluctuationResult mirrors the fluctuation response.
+type FluctuationResult struct {
+	ViolatedGR []string           `json:"violatedGR"`
+	BERates    map[string]float64 `json:"beRates"`
+}
+
+// Submit admits one application.
+func (c *Client) Submit(ctx context.Context, spec scenario.AppSpec) (*AppStatus, error) {
+	var out AppStatus
+	if err := c.do(ctx, http.MethodPost, "/apps", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Apps lists the admitted applications.
+func (c *Client) Apps(ctx context.Context) ([]AppStatus, error) {
+	var out []AppStatus
+	if err := c.do(ctx, http.MethodGet, "/apps", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Remove withdraws an application.
+func (c *Client) Remove(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/apps/"+url.PathEscape(name), nil, nil)
+}
+
+// Repair re-places a violated guaranteed-rate application.
+func (c *Client) Repair(ctx context.Context, name string) (*AppStatus, error) {
+	var out AppStatus
+	if err := c.do(ctx, http.MethodPost, "/apps/"+url.PathEscape(name)+"/repair", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Fluctuate applies capacity scales; keys are "ncp:<name>" or
+// "link:<name>".
+func (c *Client) Fluctuate(ctx context.Context, scale map[string]float64) (*FluctuationResult, error) {
+	var out FluctuationResult
+	req := fluctuationRequest{Scale: scale}
+	if err := c.do(ctx, http.MethodPost, "/fluctuation", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether the server answers its health check.
+func (c *Client) Healthy(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil) == nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("server: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e errorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

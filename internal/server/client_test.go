@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sparcle/internal/scenario"
+)
+
+func pipelineSpec(name, class string, qos scenario.QoSSpec) scenario.AppSpec {
+	qos.Class = class
+	return scenario.AppSpec{
+		Name: name,
+		CTs: []scenario.CTSpec{
+			{Name: "in", Host: "src"},
+			{Name: "work", Req: map[string]float64{"cpu": 10}},
+			{Name: "out", Host: "snk"},
+		},
+		TTs: []scenario.TTSpec{
+			{From: "in", To: "work", Bits: 1},
+			{From: "work", To: "out", Bits: 1},
+		},
+		QoS: qos,
+	}
+}
+
+func TestClientLifecycle(t *testing.T) {
+	ts, _ := testServer(t)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if !c.Healthy(ctx) {
+		t.Fatal("server unhealthy")
+	}
+
+	created, err := c.Submit(ctx, pipelineSpec("pipe", "best-effort", scenario.QoSSpec{Priority: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.TotalRate <= 0 || created.Name != "pipe" {
+		t.Fatalf("created = %+v", created)
+	}
+
+	apps, err := c.Apps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || apps[0].Name != "pipe" {
+		t.Fatalf("apps = %+v", apps)
+	}
+
+	if err := c.Remove(ctx, "pipe"); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Remove(ctx, "pipe")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if apiErr.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestClientFluctuateAndRepair(t *testing.T) {
+	ts, _ := testServer(t)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, pipelineSpec("g", "guaranteed-rate", scenario.QoSSpec{
+		MinRate: 5, MinRateAvailability: 0.9, MaxPaths: 1,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Fluctuate(ctx, map[string]float64{"ncp:m1": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ViolatedGR) != 1 {
+		t.Fatalf("violations = %+v", rep)
+	}
+	repaired, err := c.Repair(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.Paths[0].Hosts["work"] != "m2" {
+		t.Fatalf("repaired = %+v", repaired)
+	}
+	// Bad element key surfaces as APIError 400.
+	_, err = c.Fluctuate(ctx, map[string]float64{"bogus": 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientConnectionError(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listening
+	if c.Healthy(context.Background()) {
+		t.Fatal("unreachable server reported healthy")
+	}
+	if _, err := c.Apps(context.Background()); err == nil {
+		t.Fatal("want connection error")
+	}
+}

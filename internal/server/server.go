@@ -1,0 +1,302 @@
+// Package server exposes a running SPARCLE scheduler over HTTP, turning
+// the library into the long-lived control-plane service a dispersed
+// computing deployment needs: applications are submitted, inspected,
+// repaired and withdrawn through a small JSON API, and capacity
+// fluctuations observed by monitoring can be pushed in.
+//
+//	GET    /healthz            liveness
+//	GET    /network            the network topology and capacities
+//	GET    /apps               all admitted applications with rates
+//	POST   /apps               submit one scenario.AppSpec
+//	DELETE /apps/{name}        withdraw an application
+//	POST   /apps/{name}/repair re-place a violated GR application
+//	POST   /fluctuation        apply element capacity scales
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/scenario"
+	"sparcle/internal/taskgraph"
+)
+
+// Server wraps a scheduler with a JSON HTTP API. All operations are
+// serialized; the scheduler itself is not concurrency safe.
+type Server struct {
+	mu    sync.Mutex
+	net   *network.Network
+	sched *core.Scheduler
+}
+
+// New returns a Server scheduling onto net.
+func New(net *network.Network, opts ...core.Option) *Server {
+	return &Server{net: net, sched: core.New(net, opts...)}
+}
+
+// Handler returns the HTTP handler implementing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /network", s.handleNetwork)
+	mux.HandleFunc("GET /apps", s.handleListApps)
+	mux.HandleFunc("POST /apps", s.handleSubmit)
+	mux.HandleFunc("DELETE /apps/{name}", s.handleRemove)
+	mux.HandleFunc("POST /apps/{name}/repair", s.handleRepair)
+	mux.HandleFunc("POST /fluctuation", s.handleFluctuation)
+	return mux
+}
+
+// --- responses ---
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type ncpView struct {
+	Name     string             `json:"name"`
+	Capacity map[string]float64 `json:"capacity,omitempty"`
+	FailProb float64            `json:"failProb,omitempty"`
+}
+
+type linkView struct {
+	Name      string  `json:"name"`
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Bandwidth float64 `json:"bandwidth"`
+	FailProb  float64 `json:"failProb,omitempty"`
+	Directed  bool    `json:"directed,omitempty"`
+}
+
+type networkView struct {
+	Name  string     `json:"name"`
+	NCPs  []ncpView  `json:"ncps"`
+	Links []linkView `json:"links"`
+}
+
+type pathView struct {
+	Rate  float64           `json:"rate"`
+	Hosts map[string]string `json:"hosts"`
+}
+
+type appView struct {
+	Name         string     `json:"name"`
+	Class        string     `json:"class"`
+	TotalRate    float64    `json:"totalRate"`
+	Availability float64    `json:"availability"`
+	Paths        []pathView `json:"paths"`
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	view := networkView{Name: s.net.Name()}
+	for v := 0; v < s.net.NumNCPs(); v++ {
+		ncp := s.net.NCP(network.NCPID(v))
+		caps := map[string]float64{}
+		for k, a := range ncp.Capacity {
+			caps[string(k)] = a
+		}
+		view.NCPs = append(view.NCPs, ncpView{Name: ncp.Name, Capacity: caps, FailProb: ncp.FailProb})
+	}
+	for l := 0; l < s.net.NumLinks(); l++ {
+		link := s.net.Link(network.LinkID(l))
+		view.Links = append(view.Links, linkView{
+			Name:      link.Name,
+			A:         s.net.NCP(link.A).Name,
+			B:         s.net.NCP(link.B).Name,
+			Bandwidth: link.Bandwidth,
+			FailProb:  link.FailProb,
+			Directed:  link.Directed,
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	apps := []appView{}
+	for _, pa := range append(s.sched.GRApps(), s.sched.BEApps()...) {
+		apps = append(apps, s.appView(pa))
+	}
+	writeJSON(w, http.StatusOK, apps)
+}
+
+func (s *Server) appView(pa *core.PlacedApp) appView {
+	view := appView{
+		Name:         pa.App.Name,
+		Class:        pa.App.QoS.Class.String(),
+		TotalRate:    pa.TotalRate(),
+		Availability: pa.Availability,
+	}
+	for _, path := range pa.Paths {
+		hosts := map[string]string{}
+		for ct := 0; ct < pa.App.Graph.NumCTs(); ct++ {
+			id := taskgraph.CTID(ct)
+			hosts[pa.App.Graph.CT(id).Name] = s.net.NCP(path.P.Host(id)).Name
+		}
+		view.Paths = append(view.Paths, pathView{Rate: path.Rate, Hosts: hosts})
+	}
+	return view
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec scenario.AppSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode app spec: %v", err)})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, err := scenario.BuildApp(spec, s.net)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	for _, existing := range append(s.sched.GRApps(), s.sched.BEApps()...) {
+		if existing.App.Name == app.Name {
+			writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("application %q already admitted", app.Name)})
+			return
+		}
+	}
+	pa, err := s.sched.Submit(app)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrRejected) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.appView(pa))
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sched.Remove(name); err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pa, err := s.sched.Repair(name)
+	if err != nil {
+		status := http.StatusConflict
+		if !errors.Is(err, core.ErrRejected) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.appView(pa))
+}
+
+// fluctuationRequest scales element capacities; keys are "ncp:<name>" or
+// "link:<name>".
+type fluctuationRequest struct {
+	Scale map[string]float64 `json:"scale"`
+}
+
+type fluctuationResponse struct {
+	ViolatedGR []string           `json:"violatedGR"`
+	BERates    map[string]float64 `json:"beRates"`
+}
+
+func (s *Server) handleFluctuation(w http.ResponseWriter, r *http.Request) {
+	var req fluctuationRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode fluctuation: %v", err)})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scale := core.ElementScale{}
+	for key, factor := range req.Scale {
+		elem, err := s.parseElement(key)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		scale[elem] = factor
+	}
+	rep, err := s.sched.ApplyFluctuation(scale)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := fluctuationResponse{ViolatedGR: rep.ViolatedGR, BERates: rep.BERates}
+	if resp.ViolatedGR == nil {
+		resp.ViolatedGR = []string{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) parseElement(key string) (placement.Element, error) {
+	switch {
+	case strings.HasPrefix(key, "ncp:"):
+		name := strings.TrimPrefix(key, "ncp:")
+		id, ok := s.net.NCPIDByName(name)
+		if !ok {
+			return 0, fmt.Errorf("unknown NCP %q", name)
+		}
+		return placement.NCPElement(id), nil
+	case strings.HasPrefix(key, "link:"):
+		name := strings.TrimPrefix(key, "link:")
+		for l := 0; l < s.net.NumLinks(); l++ {
+			if s.net.Link(network.LinkID(l)).Name == name {
+				return placement.LinkElement(s.net, network.LinkID(l)), nil
+			}
+		}
+		return 0, fmt.Errorf("unknown link %q", name)
+	default:
+		return 0, fmt.Errorf("element key %q must start with ncp: or link:", key)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// SubmitAll admits a batch of applications (e.g. a scenario's app list at
+// server startup), logging each outcome to out. Rejections are reported
+// but do not fail the batch; any other error aborts.
+func (s *Server) SubmitAll(apps []core.App, out io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, app := range apps {
+		pa, err := s.sched.Submit(app)
+		switch {
+		case errors.Is(err, core.ErrRejected):
+			fmt.Fprintf(out, "rejected %q: %v\n", app.Name, err)
+		case err != nil:
+			return fmt.Errorf("submit %q: %w", app.Name, err)
+		default:
+			fmt.Fprintf(out, "admitted %q at %.4f/s\n", app.Name, pa.TotalRate())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,618 @@
+// Package simnet is a discrete-event simulator that actually executes
+// placed stream processing applications on a dispersed computing network.
+// It stands in for the paper's physical testbed and Mininet emulation
+// (§V.A): data units are emitted by source CTs at a configured input rate,
+// flow through the application's task graph, queue FIFO at every NCP and
+// link (the queueing network of §IV.A), and are counted at the result
+// consumer.
+//
+// The simulator validates the analytical bottleneck rate — a placement run
+// at an input rate below its bottleneck is stable and delivers the full
+// rate; above it, queues grow and throughput saturates at the bottleneck —
+// and provides the latency, utilization and energy measurements the
+// experiments report. Elements can be given availability schedules to
+// replay failures.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// Duration is the simulated time horizon in seconds.
+	Duration float64
+	// Warmup discards completions before this time (seconds) from the
+	// throughput and latency statistics.
+	Warmup float64
+	// MaxEvents aborts runaway simulations; 0 means 20 million events.
+	MaxEvents int
+}
+
+func (c Config) validate() error {
+	if c.Duration <= 0 {
+		return errors.New("simnet: Duration must be > 0")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("simnet: Warmup %v outside [0, Duration)", c.Warmup)
+	}
+	return nil
+}
+
+// Interval is a half-open time span [From, To) in simulated seconds.
+type Interval struct {
+	From, To float64
+}
+
+// Sim is a configured simulator instance. It is not safe for concurrent
+// use; build one per run.
+type Sim struct {
+	net  *network.Network
+	apps []*simApp
+	down map[placement.Element][]Interval
+}
+
+type simApp struct {
+	p    *placement.Placement
+	rate float64
+	// arrivals draws exponential inter-arrival times when non-nil
+	// (Poisson input); deterministic spacing 1/rate otherwise.
+	arrivals *rand.Rand
+	// window > 0 switches the app to closed-loop (backpressure) input:
+	// sources keep `window` data units outstanding, emitting the next
+	// unit when one is delivered, instead of emitting at a fixed rate.
+	window int
+}
+
+// New returns a simulator over net.
+func New(net *network.Network) *Sim {
+	return &Sim{net: net, down: map[placement.Element][]Interval{}}
+}
+
+// AddApp registers a placed application driven at the given input rate
+// (data units per second at every source CT), with deterministic
+// inter-arrival times 1/rate.
+func (s *Sim) AddApp(p *placement.Placement, rate float64) error {
+	return s.addApp(p, rate, nil)
+}
+
+// AddAppPoisson registers a placed application whose sources emit data
+// units as a Poisson process of the given mean rate, drawing inter-arrival
+// times from rng. Poisson input exposes the queueing behaviour near
+// saturation that deterministic arrivals hide.
+func (s *Sim) AddAppPoisson(p *placement.Placement, rate float64, rng *rand.Rand) error {
+	if rng == nil {
+		return errors.New("simnet: AddAppPoisson needs a random source")
+	}
+	return s.addApp(p, rate, rng)
+}
+
+func (s *Sim) addApp(p *placement.Placement, rate float64, arrivals *rand.Rand) error {
+	if !p.Complete() {
+		return errors.New("simnet: placement incomplete")
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("simnet: invalid input rate %v", rate)
+	}
+	s.apps = append(s.apps, &simApp{p: p, rate: rate, arrivals: arrivals})
+	return nil
+}
+
+// AddAppClosedLoop registers a placed application with backpressure
+// (window) flow control instead of a fixed input rate: its sources keep
+// `window` data units in flight and emit the next unit the moment one is
+// delivered, the self-clocking discipline stream engines implement as
+// backpressure. Throughput converges to the placement's bottleneck rate
+// on its own (for a window large enough to cover the pipeline), which the
+// paper's related-work discussion points to as the decentralized
+// alternative to computing rates up front.
+func (s *Sim) AddAppClosedLoop(p *placement.Placement, window int) error {
+	if !p.Complete() {
+		return errors.New("simnet: placement incomplete")
+	}
+	if window < 1 {
+		return fmt.Errorf("simnet: window must be >= 1, got %d", window)
+	}
+	s.apps = append(s.apps, &simApp{p: p, rate: math.NaN(), window: window})
+	return nil
+}
+
+// SetDowntime replays failure intervals for a network element: while down,
+// the element stops serving (service is paused and resumed, jobs are not
+// lost). Intervals must be disjoint and sorted.
+func (s *Sim) SetDowntime(e placement.Element, intervals []Interval) error {
+	prev := math.Inf(-1)
+	for _, iv := range intervals {
+		if iv.To <= iv.From || iv.From < prev {
+			return fmt.Errorf("simnet: downtime intervals must be sorted and disjoint, got %+v", intervals)
+		}
+		prev = iv.To
+	}
+	s.down[e] = append([]Interval(nil), intervals...)
+	return nil
+}
+
+// AppStats reports one application's measured behaviour.
+type AppStats struct {
+	// Completed is the number of data units delivered to the consumer
+	// inside the measurement window.
+	Completed int
+	// Throughput is Completed divided by the measurement window length.
+	Throughput float64
+	// MeanLatency and P95Latency are end-to-end data unit latencies in
+	// seconds (emission at the source to delivery at the consumer).
+	MeanLatency, P95Latency float64
+	// MaxQueueLen is the largest backlog observed at any element by this
+	// app's jobs (a stability indicator).
+	MaxQueueLen int
+	// MeanInFlight is the time-averaged number of data units inside the
+	// system (emitted but not yet delivered) over the whole horizon.
+	// Together with Throughput and MeanLatency it lets callers check
+	// Little's law (L = lambda * W).
+	MeanInFlight float64
+}
+
+// ElementStats reports per-element aggregates.
+type ElementStats struct {
+	// BusyTime is the total time the element spent serving, seconds.
+	BusyTime float64
+	// Utilization is BusyTime / Duration.
+	Utilization float64
+	// BitsCarried is the total traffic through a link (0 for NCPs).
+	BitsCarried float64
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Config   Config
+	Apps     []AppStats
+	Elements map[placement.Element]ElementStats
+}
+
+// event kinds.
+type eventKind int
+
+const (
+	evEmit eventKind = iota + 1 // a source produces a data unit
+	evDone                      // an element finishes its current job
+)
+
+type event struct {
+	at   float64
+	seq  int64
+	kind eventKind
+
+	app  int
+	unit int64
+	ct   taskgraph.CTID // for evEmit: which source emits
+
+	elem int // for evDone: element index
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// job is one unit of work at one element: a CT execution or a single-link
+// hop of a TT transmission.
+type job struct {
+	app     int
+	unit    int64
+	service float64 // seconds of pure service demand
+
+	isCT bool
+	ct   taskgraph.CTID
+
+	tt      taskgraph.TTID
+	hopIdx  int // index into the TT's route
+	bits    float64
+	emitted float64 // emission time of the unit (latency accounting)
+}
+
+// server is the FIFO state of one element.
+type server struct {
+	busy  bool
+	queue []job
+	cur   job
+
+	busyTime float64
+	bits     float64
+	maxQueue int
+	down     []Interval
+}
+
+// Run executes the simulation.
+func (s *Sim) Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 20_000_000
+	}
+	if len(s.apps) == 0 {
+		return nil, errors.New("simnet: no applications added")
+	}
+
+	numElems := s.net.NumNCPs() + s.net.NumLinks()
+	servers := make([]server, numElems)
+	for e, ivs := range s.down {
+		if int(e) < 0 || int(e) >= numElems {
+			return nil, fmt.Errorf("simnet: downtime for unknown element %d", e)
+		}
+		servers[e].down = ivs
+	}
+
+	st := &runState{
+		sim:       s,
+		cfg:       cfg,
+		servers:   servers,
+		pending:   map[joinKey]int{},
+		emitTimes: map[unitKey]float64{},
+		latencies: make([][]float64, len(s.apps)),
+		completed: make([]int, len(s.apps)),
+		maxQ:      make([]int, len(s.apps)),
+		inFlight:  make([]int, len(s.apps)),
+		flightT:   make([]float64, len(s.apps)),
+		flightSum: make([]float64, len(s.apps)),
+		nextUnit:  make([]int64, len(s.apps)),
+	}
+	for ai, app := range s.apps {
+		if app.window > 0 {
+			st.nextUnit[ai] = int64(app.window)
+		}
+	}
+
+	// Seed the first emission of every app (closed-loop apps start with
+	// their whole window in flight).
+	var h eventHeap
+	for ai, app := range s.apps {
+		first := int64(1)
+		if app.window > 0 {
+			first = int64(app.window)
+		}
+		for unit := int64(0); unit < first; unit++ {
+			for _, src := range app.p.Graph.Sources() {
+				h = append(h, event{at: 0, seq: st.nextSeq(), kind: evEmit, app: ai, unit: unit, ct: src})
+			}
+		}
+	}
+	heap.Init(&h)
+
+	events := 0
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		if ev.at > cfg.Duration {
+			break
+		}
+		events++
+		if events > maxEvents {
+			return nil, fmt.Errorf("simnet: exceeded %d events (unstable input rate?)", maxEvents)
+		}
+		switch ev.kind {
+		case evEmit:
+			st.handleEmit(&h, ev)
+		case evDone:
+			st.handleDone(&h, ev)
+		}
+	}
+
+	return st.report(), nil
+}
+
+type joinKey struct {
+	app  int
+	ct   taskgraph.CTID
+	unit int64
+}
+
+type unitKey struct {
+	app  int
+	unit int64
+}
+
+type runState struct {
+	sim *Sim
+	cfg Config
+
+	servers   []server
+	pending   map[joinKey]int
+	emitTimes map[unitKey]float64
+
+	latencies [][]float64
+	completed []int
+	maxQ      []int
+	seq       int64
+
+	// Little's-law accounting per app: time integral of the in-flight
+	// population.
+	inFlight  []int
+	flightT   []float64
+	flightSum []float64
+
+	// nextUnit numbers the units a closed-loop app has yet to emit.
+	nextUnit []int64
+}
+
+func (st *runState) nextSeq() int64 {
+	st.seq++
+	return st.seq
+}
+
+func (st *runState) handleEmit(h *eventHeap, ev event) {
+	app := st.sim.apps[ev.app]
+	key := unitKey{ev.app, ev.unit}
+	if _, ok := st.emitTimes[key]; !ok {
+		st.emitTimes[key] = ev.at
+		st.noteFlight(ev.app, ev.at, +1)
+	}
+	// The source CT "executes" like any CT (usually zero service).
+	st.enqueueCT(h, ev.at, ev.app, ev.ct, ev.unit)
+	if app.window > 0 {
+		return // closed-loop: the next unit is emitted on delivery
+	}
+	// Schedule this source's next emission: deterministic spacing, or an
+	// exponential gap for Poisson input.
+	gap := 1 / app.rate
+	if app.arrivals != nil {
+		gap = app.arrivals.ExpFloat64() / app.rate
+	}
+	next := ev.at + gap
+	if next <= st.cfg.Duration {
+		heap.Push(h, event{at: next, seq: st.nextSeq(), kind: evEmit, app: ev.app, unit: ev.unit + 1, ct: ev.ct})
+	}
+}
+
+// enqueueCT queues the execution of ct for one data unit on its host.
+func (st *runState) enqueueCT(h *eventHeap, now float64, appIdx int, ct taskgraph.CTID, unit int64) {
+	app := st.sim.apps[appIdx]
+	host := app.p.Host(ct)
+	j := job{
+		app:     appIdx,
+		unit:    unit,
+		isCT:    true,
+		ct:      ct,
+		service: ctServiceTime(app.p.Graph.CT(ct).Req, st.sim.net.NCP(host).Capacity),
+		emitted: st.emitTimes[unitKey{appIdx, unit}],
+	}
+	st.offer(h, now, int(placement.NCPElement(host)), j)
+}
+
+// enqueueTTHop queues hop hopIdx of tt for one unit.
+func (st *runState) enqueueTTHop(h *eventHeap, now float64, appIdx int, tt taskgraph.TTID, hopIdx int, unit int64) {
+	app := st.sim.apps[appIdx]
+	route, _ := app.p.Route(tt)
+	if hopIdx >= len(route) {
+		// Delivered: either empty (co-located) or past the last hop.
+		st.deliver(h, now, appIdx, tt, unit)
+		return
+	}
+	link := route[hopIdx]
+	bw := st.sim.net.Link(link).Bandwidth
+	bits := app.p.Graph.TT(tt).Bits
+	service := math.Inf(1)
+	if bw > 0 {
+		service = bits / bw
+	}
+	j := job{
+		app:     appIdx,
+		unit:    unit,
+		tt:      tt,
+		hopIdx:  hopIdx,
+		bits:    bits,
+		service: service,
+		emitted: st.emitTimes[unitKey{appIdx, unit}],
+	}
+	st.offer(h, now, int(placement.LinkElement(st.sim.net, link)), j)
+}
+
+// deliver hands a TT's data unit to its destination CT, releasing the CT
+// once all of its inputs for that unit have arrived (fork/join barrier).
+func (st *runState) deliver(h *eventHeap, now float64, appIdx int, tt taskgraph.TTID, unit int64) {
+	app := st.sim.apps[appIdx]
+	dst := app.p.Graph.TT(tt).To
+	key := joinKey{appIdx, dst, unit}
+	st.pending[key]++
+	if st.pending[key] == len(app.p.Graph.InTTs(dst)) {
+		delete(st.pending, key)
+		st.enqueueCT(h, now, appIdx, dst, unit)
+	}
+}
+
+// offer places a job on an element's FIFO, starting service if idle.
+func (st *runState) offer(h *eventHeap, now float64, elem int, j job) {
+	srv := &st.servers[elem]
+	if srv.busy {
+		srv.queue = append(srv.queue, j)
+		if len(srv.queue) > srv.maxQueue {
+			srv.maxQueue = len(srv.queue)
+		}
+		if len(srv.queue) > st.maxQ[j.app] {
+			st.maxQ[j.app] = len(srv.queue)
+		}
+		return
+	}
+	st.startService(h, now, elem, j)
+}
+
+func (st *runState) startService(h *eventHeap, now float64, elem int, j job) {
+	srv := &st.servers[elem]
+	srv.busy = true
+	srv.cur = j
+	if math.IsInf(j.service, 1) {
+		// Zero-capacity element: the job never finishes; the queue grows
+		// behind it, which the throughput statistics then reflect.
+		return
+	}
+	finish := finishTime(now, j.service, srv.down)
+	srv.busyTime += j.service
+	if !j.isCT {
+		srv.bits += j.bits
+	}
+	heap.Push(h, event{at: finish, seq: st.nextSeq(), kind: evDone, app: j.app, elem: elem})
+}
+
+// finishTime adds service seconds of work starting at now, skipping the
+// element's down intervals (preempt-resume semantics).
+func finishTime(now, service float64, down []Interval) float64 {
+	t := now
+	remaining := service
+	for _, iv := range down {
+		if iv.To <= t {
+			continue
+		}
+		if iv.From > t {
+			span := iv.From - t
+			if remaining <= span {
+				return t + remaining
+			}
+			remaining -= span
+		}
+		// Paused through [max(t, iv.From), iv.To).
+		t = iv.To
+	}
+	return t + remaining
+}
+
+func (st *runState) handleDone(h *eventHeap, ev event) {
+	srv := &st.servers[ev.elem]
+	j := srv.cur
+	srv.busy = false
+	// Advance the FIFO.
+	if len(srv.queue) > 0 {
+		next := srv.queue[0]
+		srv.queue = srv.queue[1:]
+		st.startService(h, ev.at, ev.elem, next)
+	}
+	app := st.sim.apps[j.app]
+	if j.isCT {
+		outs := app.p.Graph.OutTTs(j.ct)
+		if len(outs) == 0 {
+			// Sink: the unit is complete.
+			st.complete(h, j.app, j.unit, ev.at)
+			return
+		}
+		for _, tt := range outs {
+			st.enqueueTTHop(h, ev.at, j.app, tt, 0, j.unit)
+		}
+		return
+	}
+	st.enqueueTTHop(h, ev.at, j.app, j.tt, j.hopIdx+1, j.unit)
+}
+
+// noteFlight integrates the in-flight population as it changes.
+func (st *runState) noteFlight(appIdx int, at float64, delta int) {
+	st.flightSum[appIdx] += float64(st.inFlight[appIdx]) * (at - st.flightT[appIdx])
+	st.flightT[appIdx] = at
+	st.inFlight[appIdx] += delta
+}
+
+func (st *runState) complete(h *eventHeap, appIdx int, unit int64, at float64) {
+	key := unitKey{appIdx, unit}
+	emitted, ok := st.emitTimes[key]
+	if !ok {
+		return
+	}
+	delete(st.emitTimes, key)
+	st.noteFlight(appIdx, at, -1)
+	// Closed-loop: a delivery releases the next emission.
+	if app := st.sim.apps[appIdx]; app.window > 0 && at <= st.cfg.Duration {
+		next := st.nextUnit[appIdx]
+		st.nextUnit[appIdx]++
+		for _, src := range app.p.Graph.Sources() {
+			heap.Push(h, event{at: at, seq: st.nextSeq(), kind: evEmit, app: appIdx, unit: next, ct: src})
+		}
+	}
+	if at < st.cfg.Warmup || at > st.cfg.Duration {
+		return
+	}
+	st.completed[appIdx]++
+	st.latencies[appIdx] = append(st.latencies[appIdx], at-emitted)
+}
+
+func (st *runState) report() *Report {
+	window := st.cfg.Duration - st.cfg.Warmup
+	rep := &Report{
+		Config:   st.cfg,
+		Apps:     make([]AppStats, len(st.sim.apps)),
+		Elements: map[placement.Element]ElementStats{},
+	}
+	for ai := range st.sim.apps {
+		// Flush the in-flight integral to the horizon.
+		st.noteFlight(ai, st.cfg.Duration, 0)
+		lat := st.latencies[ai]
+		stats := AppStats{
+			Completed:    st.completed[ai],
+			Throughput:   float64(st.completed[ai]) / window,
+			MaxQueueLen:  st.maxQ[ai],
+			MeanInFlight: st.flightSum[ai] / st.cfg.Duration,
+		}
+		if len(lat) > 0 {
+			sum := 0.0
+			for _, l := range lat {
+				sum += l
+			}
+			stats.MeanLatency = sum / float64(len(lat))
+			sorted := append([]float64(nil), lat...)
+			sort.Float64s(sorted)
+			stats.P95Latency = sorted[int(math.Ceil(0.95*float64(len(sorted))))-1]
+		}
+		rep.Apps[ai] = stats
+	}
+	for e := range st.servers {
+		srv := &st.servers[e]
+		if srv.busyTime == 0 && srv.bits == 0 {
+			continue
+		}
+		rep.Elements[placement.Element(e)] = ElementStats{
+			BusyTime:    srv.busyTime,
+			Utilization: srv.busyTime / st.cfg.Duration,
+			BitsCarried: srv.bits,
+		}
+	}
+	return rep
+}
+
+// ctServiceTime is the per-unit processing time of a CT on a host:
+// max over resource kinds of requirement / capacity (§IV.A).
+func ctServiceTime(req, cap resource.Vector) float64 {
+	t := 0.0
+	for k, a := range req {
+		if a <= 0 {
+			continue
+		}
+		c := cap[k]
+		if c <= 0 {
+			return math.Inf(1)
+		}
+		if v := a / c; v > t {
+			t = v
+		}
+	}
+	return t
+}

@@ -1,0 +1,418 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/assign"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// pipeline builds a 4-node line network and a 2-CT linear app placed by
+// SPARCLE, returning the placement and its analytic bottleneck rate.
+func pipeline(t *testing.T, cpu, bw float64) (*network.Network, *placement.Placement, float64) {
+	t.Helper()
+	b := network.NewBuilder("line")
+	src := b.AddNCP("src", nil, 0)
+	m1 := b.AddNCP("m1", resource.Vector{resource.CPU: cpu}, 0)
+	m2 := b.AddNCP("m2", resource.Vector{resource.CPU: cpu}, 0)
+	snk := b.AddNCP("snk", nil, 0)
+	b.AddLink("l0", src, m1, bw, 0)
+	b.AddLink("l1", m1, m2, bw, 0)
+	b.AddLink("l2", m2, snk, bw, 0)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := taskgraph.Linear("app",
+		[]resource.Vector{{resource.CPU: 10}, {resource.CPU: 10}},
+		[]float64{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := placement.Pins{g.Sources()[0]: src, g.Sinks()[0]: snk}
+	caps := net.BaseCapacities()
+	p, err := assign.Sparcle{}.Assign(g, pins, net, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, p, p.Rate(caps)
+}
+
+func TestThroughputMatchesAnalyticRateWhenStable(t *testing.T) {
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	rate := bottleneck * 0.8
+	if err := sim.AddApp(p, rate); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 500, Warmup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Apps[0].Throughput
+	if math.Abs(got-rate) > 0.05*rate {
+		t.Fatalf("throughput = %v, want ~%v (bottleneck %v)", got, rate, bottleneck)
+	}
+	// Stable system: queues stay small.
+	if rep.Apps[0].MaxQueueLen > 5 {
+		t.Fatalf("max queue = %d in a stable run", rep.Apps[0].MaxQueueLen)
+	}
+	if rep.Apps[0].MeanLatency <= 0 || rep.Apps[0].P95Latency < rep.Apps[0].MeanLatency {
+		t.Fatalf("latencies inconsistent: mean %v p95 %v", rep.Apps[0].MeanLatency, rep.Apps[0].P95Latency)
+	}
+}
+
+func TestThroughputSaturatesAtBottleneck(t *testing.T) {
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	if err := sim.AddApp(p, bottleneck*3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 500, Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Apps[0].Throughput
+	if math.Abs(got-bottleneck) > 0.1*bottleneck {
+		t.Fatalf("saturated throughput = %v, want ~bottleneck %v", got, bottleneck)
+	}
+	// Overloaded system: some queue must have grown.
+	if rep.Apps[0].MaxQueueLen < 10 {
+		t.Fatalf("max queue = %d in an overloaded run", rep.Apps[0].MaxQueueLen)
+	}
+}
+
+func TestUtilizationMatchesLoad(t *testing.T) {
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	rate := bottleneck / 2
+	if err := sim.AddApp(p, rate); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 1000, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each middle NCP hosts one CT with service time 10/100 = 0.1 s, so
+	// utilization should be ~ rate * 0.1.
+	for v := 1; v <= 2; v++ {
+		e := placement.NCPElement(network.NCPID(v))
+		stats, ok := rep.Elements[e]
+		if !p.NCPLoad(network.NCPID(v)).IsZero() {
+			if !ok {
+				t.Fatalf("no stats for loaded NCP %d", v)
+			}
+			want := rate * 0.1
+			if math.Abs(stats.Utilization-want) > 0.1*want {
+				t.Fatalf("NCP %d utilization = %v, want ~%v", v, stats.Utilization, want)
+			}
+		}
+	}
+}
+
+func TestDiamondForkJoin(t *testing.T) {
+	// A diamond app: every delivered unit requires both branches, so
+	// completions must match the source count exactly in a stable system.
+	b := network.NewBuilder("mesh")
+	n := make([]network.NCPID, 4)
+	for i := range n {
+		n[i] = b.AddNCP("n", resource.Vector{resource.CPU: 100}, 0)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddLink("l", n[i], n[j], 1e4, 0)
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []resource.Vector{
+		{resource.CPU: 5}, {resource.CPU: 5}, // stage 1
+		{resource.CPU: 5}, {resource.CPU: 5}, // stage 2
+		{resource.CPU: 2}, // join
+	}
+	bits := []float64{10, 10, 10, 10, 10, 10, 5}
+	g, err := taskgraph.Diamond("dia", 2, reqs, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := placement.Pins{g.Sources()[0]: n[0], g.Sinks()[0]: n[3]}
+	caps := net.BaseCapacities()
+	p, err := assign.Sparcle{}.Assign(g, pins, net, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := p.Rate(caps) * 0.5
+	sim := New(net)
+	if err := sim.AddApp(p, rate); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 200, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the horizon, every emitted unit except the in-flight tail
+	// must complete exactly once.
+	emitted := int(200 * rate)
+	if got := rep.Apps[0].Completed; got < emitted-10 || got > emitted+1 {
+		t.Fatalf("completed %d of ~%d emitted", got, emitted)
+	}
+}
+
+func TestTwoAppsShareAnElement(t *testing.T) {
+	// Two identical apps on the same pipeline at a combined rate below
+	// the bottleneck: both must receive their full input rate.
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	rate := bottleneck * 0.4
+	if err := sim.AddApp(p, rate); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddApp(p.Clone(), rate); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 500, Warmup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, stats := range rep.Apps {
+		if math.Abs(stats.Throughput-rate) > 0.05*rate {
+			t.Fatalf("app %d throughput = %v, want ~%v", i, stats.Throughput, rate)
+		}
+	}
+}
+
+func TestDowntimePausesService(t *testing.T) {
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	rate := bottleneck * 0.9
+	if err := sim.AddApp(p, rate); err != nil {
+		t.Fatal(err)
+	}
+	// Take a loaded NCP down for the first half of the horizon: nothing
+	// completes while it is down, and the backlog can only drain at the
+	// bottleneck rate afterwards, so overall throughput lands well below
+	// the input rate (~ bottleneck/2 over the full window).
+	var loaded network.NCPID = -1
+	for v := 0; v < net.NumNCPs(); v++ {
+		if !p.NCPLoad(network.NCPID(v)).IsZero() {
+			loaded = network.NCPID(v)
+			break
+		}
+	}
+	if loaded < 0 {
+		t.Fatal("no loaded NCP found")
+	}
+	if err := sim.SetDowntime(placement.NCPElement(loaded), []Interval{{From: 0, To: 500}}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 1000, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Apps[0].Throughput
+	if got < 0.3*rate || got > 0.7*rate {
+		t.Fatalf("throughput with 50%% downtime = %v (input %v, bottleneck %v)", got, rate, bottleneck)
+	}
+}
+
+func TestDowntimeValidation(t *testing.T) {
+	net, _, _ := pipeline(t, 100, 1000)
+	sim := New(net)
+	if err := sim.SetDowntime(placement.NCPElement(0), []Interval{{From: 5, To: 1}}); err == nil {
+		t.Fatal("inverted interval must error")
+	}
+	if err := sim.SetDowntime(placement.NCPElement(0), []Interval{{0, 2}, {1, 3}}); err == nil {
+		t.Fatal("overlapping intervals must error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	net, p, _ := pipeline(t, 100, 1000)
+	sim := New(net)
+	if _, err := sim.Run(Config{Duration: 10}); err == nil {
+		t.Fatal("run without apps must error")
+	}
+	if err := sim.AddApp(p, -1); err == nil {
+		t.Fatal("negative rate must error")
+	}
+	if err := sim.AddApp(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(Config{Duration: 0}); err == nil {
+		t.Fatal("zero duration must error")
+	}
+	if _, err := sim.Run(Config{Duration: 10, Warmup: 20}); err == nil {
+		t.Fatal("warmup beyond duration must error")
+	}
+	if _, err := sim.Run(Config{Duration: 1000, MaxEvents: 10}); err == nil {
+		t.Fatal("event cap must abort")
+	}
+}
+
+func TestIncompletePlacementRejected(t *testing.T) {
+	net, p, _ := pipeline(t, 100, 1000)
+	incomplete := placement.New(p.Graph, net)
+	sim := New(net)
+	if err := sim.AddApp(incomplete, 1); err == nil {
+		t.Fatal("incomplete placement must be rejected")
+	}
+}
+
+func TestFinishTime(t *testing.T) {
+	down := []Interval{{From: 2, To: 4}, {From: 10, To: 11}}
+	tests := []struct {
+		now, service, want float64
+	}{
+		{0, 1, 1},   // finishes before downtime
+		{0, 3, 5},   // 2s before pause, 1s after
+		{3, 1, 5},   // starts inside a pause
+		{5, 5, 10},  // completes exactly as the second pause begins
+		{5, 6, 12},  // crosses the second pause
+		{12, 2, 14}, // after all pauses
+		{0, 0, 0},   // zero service
+	}
+	for _, tt := range tests {
+		if got := finishTime(tt.now, tt.service, down); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("finishTime(%v, %v) = %v, want %v", tt.now, tt.service, got, tt.want)
+		}
+	}
+}
+
+func TestCTServiceTime(t *testing.T) {
+	if got := ctServiceTime(resource.Vector{resource.CPU: 10}, resource.Vector{resource.CPU: 100}); got != 0.1 {
+		t.Fatalf("got %v", got)
+	}
+	if got := ctServiceTime(nil, resource.Vector{resource.CPU: 100}); got != 0 {
+		t.Fatalf("zero req: got %v", got)
+	}
+	if got := ctServiceTime(resource.Vector{resource.CPU: 10}, nil); !math.IsInf(got, 1) {
+		t.Fatalf("zero cap: got %v", got)
+	}
+	// Multi-resource: the max binds.
+	got := ctServiceTime(
+		resource.Vector{resource.CPU: 10, resource.Memory: 50},
+		resource.Vector{resource.CPU: 100, resource.Memory: 100})
+	if got != 0.5 {
+		t.Fatalf("got %v, want 0.5", got)
+	}
+}
+
+func TestPoissonArrivalsDeliverMeanRate(t *testing.T) {
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	rate := bottleneck * 0.5
+	if err := sim.AddAppPoisson(p, rate, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 2000, Warmup: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Apps[0].Throughput
+	if math.Abs(got-rate) > 0.1*rate {
+		t.Fatalf("Poisson throughput = %v, want ~%v", got, rate)
+	}
+	// Poisson input must queue more than deterministic input at the same
+	// load.
+	det := New(net)
+	if err := det.AddApp(p.Clone(), rate); err != nil {
+		t.Fatal(err)
+	}
+	detRep, err := det.Run(Config{Duration: 2000, Warmup: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Apps[0].P95Latency <= detRep.Apps[0].P95Latency {
+		t.Fatalf("Poisson p95 %v not above deterministic %v",
+			rep.Apps[0].P95Latency, detRep.Apps[0].P95Latency)
+	}
+}
+
+func TestPoissonNeedsRand(t *testing.T) {
+	net, p, _ := pipeline(t, 100, 1000)
+	if err := New(net).AddAppPoisson(p, 1, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	// L = lambda * W must hold for the time-averaged in-flight population
+	// under Poisson input at moderate load.
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	rate := bottleneck * 0.7
+	if err := sim.AddAppPoisson(p, rate, rand.New(rand.NewSource(8))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 5000, Warmup: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Apps[0]
+	if st.MeanInFlight <= 0 {
+		t.Fatalf("MeanInFlight = %v", st.MeanInFlight)
+	}
+	want := st.Throughput * st.MeanLatency
+	if math.Abs(st.MeanInFlight-want)/want > 0.1 {
+		t.Fatalf("Little's law violated: L = %v, lambda*W = %v", st.MeanInFlight, want)
+	}
+}
+
+func TestClosedLoopConvergesToBottleneck(t *testing.T) {
+	// With backpressure flow control, the source is never told the
+	// bottleneck rate, yet throughput self-clocks to it once the window
+	// covers the pipeline.
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	if err := sim.AddAppClosedLoop(p, 8); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 1000, Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Apps[0].Throughput
+	if math.Abs(got-bottleneck) > 0.05*bottleneck {
+		t.Fatalf("closed-loop throughput = %v, want ~bottleneck %v", got, bottleneck)
+	}
+	// In-flight population stays bounded by the window (per source).
+	if rep.Apps[0].MeanInFlight > 8+1e-9 {
+		t.Fatalf("mean in flight %v exceeds window", rep.Apps[0].MeanInFlight)
+	}
+}
+
+func TestClosedLoopSmallWindowUnderutilizes(t *testing.T) {
+	// A window of 1 serializes the pipeline: throughput = 1/RTT, well
+	// below the bottleneck rate of a 5-stage pipeline.
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	if err := sim.AddAppClosedLoop(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 1000, Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Apps[0].Throughput; got >= 0.9*bottleneck {
+		t.Fatalf("window-1 throughput = %v, bottleneck %v; expected underutilization", got, bottleneck)
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	net, p, _ := pipeline(t, 100, 1000)
+	sim := New(net)
+	if err := sim.AddAppClosedLoop(p, 0); err == nil {
+		t.Fatal("window 0 must error")
+	}
+	incomplete := placement.New(p.Graph, net)
+	if err := sim.AddAppClosedLoop(incomplete, 4); err == nil {
+		t.Fatal("incomplete placement must error")
+	}
+}

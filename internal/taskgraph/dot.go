@@ -1,0 +1,31 @@
+package taskgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the task graph as a Graphviz digraph: CTs as nodes labeled
+// with their resource requirements, TTs as edges labeled with their
+// per-unit bits. Output is deterministic.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph taskgraph {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", g.name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+	for ct := 0; ct < g.NumCTs(); ct++ {
+		c := g.CT(CTID(ct))
+		label := c.Name
+		if !c.Req.IsZero() {
+			label += "\\n" + c.Req.String()
+		}
+		fmt.Fprintf(&b, "  ct%d [label=%q];\n", ct, label)
+	}
+	for tt := 0; tt < g.NumTTs(); tt++ {
+		e := g.TT(TTID(tt))
+		fmt.Fprintf(&b, "  ct%d -> ct%d [label=%q];\n", e.From, e.To,
+			fmt.Sprintf("%s (%g)", e.Name, e.Bits))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparcle/internal/resource"
+)
+
+// RandomConfig parameterizes RandomLayered.
+type RandomConfig struct {
+	// Layers is the number of processing layers between the source and
+	// the consumer (>= 1).
+	Layers int
+	// MinWidth and MaxWidth bound the CTs per layer.
+	MinWidth, MaxWidth int
+	// EdgeProb is the probability of a TT between a CT and each CT of
+	// the next layer beyond the one guaranteeing connectivity.
+	EdgeProb float64
+	// CTReq draws one CT requirement vector.
+	CTReq func(*rand.Rand) resource.Vector
+	// TTBits draws one TT size.
+	TTBits func(*rand.Rand) float64
+}
+
+func (c RandomConfig) validate() error {
+	if c.Layers < 1 {
+		return fmt.Errorf("taskgraph: RandomLayered needs Layers >= 1, got %d", c.Layers)
+	}
+	if c.MinWidth < 1 || c.MaxWidth < c.MinWidth {
+		return fmt.Errorf("taskgraph: RandomLayered widths [%d, %d] invalid", c.MinWidth, c.MaxWidth)
+	}
+	if c.EdgeProb < 0 || c.EdgeProb > 1 {
+		return fmt.Errorf("taskgraph: RandomLayered EdgeProb %v outside [0, 1]", c.EdgeProb)
+	}
+	if c.CTReq == nil || c.TTBits == nil {
+		return fmt.Errorf("taskgraph: RandomLayered needs CTReq and TTBits generators")
+	}
+	return nil
+}
+
+// RandomLayered generates a random layered DAG: one source fans out to the
+// first processing layer, each CT feeds at least one CT of the next layer
+// (plus extra edges with probability EdgeProb), every CT is reachable from
+// the source and reaches the consumer, and the final layer merges into the
+// consumer. Layered DAGs cover the "multiple smaller computation tasks
+// with different resource requirements and dependencies" shape the paper
+// models (§I) beyond the two fixed graphs of Fig. 7.
+func RandomLayered(name string, cfg RandomConfig, rng *rand.Rand) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(name)
+	src := b.AddCT("source", nil)
+	layers := make([][]CTID, cfg.Layers)
+	for li := range layers {
+		width := cfg.MinWidth + rng.Intn(cfg.MaxWidth-cfg.MinWidth+1)
+		layers[li] = make([]CTID, width)
+		for wi := range layers[li] {
+			layers[li][wi] = b.AddCT(fmt.Sprintf("l%d-%d", li+1, wi+1), cfg.CTReq(rng))
+		}
+	}
+	sink := b.AddCT("consumer", nil)
+
+	tt := 0
+	addTT := func(from, to CTID) {
+		b.AddTT(fmt.Sprintf("tt%d", tt), from, to, cfg.TTBits(rng))
+		tt++
+	}
+	// Source feeds every CT of the first layer.
+	for _, ct := range layers[0] {
+		addTT(src, ct)
+	}
+	// Between consecutive layers: every upstream CT gets at least one
+	// successor, every downstream CT at least one predecessor, plus
+	// random extras.
+	for li := 0; li+1 < len(layers); li++ {
+		up, down := layers[li], layers[li+1]
+		hasPred := make([]bool, len(down))
+		for _, u := range up {
+			picked := rng.Intn(len(down))
+			addTT(u, down[picked])
+			hasPred[picked] = true
+			for di, d := range down {
+				if di != picked && rng.Float64() < cfg.EdgeProb {
+					addTT(u, d)
+					hasPred[di] = true
+				}
+			}
+		}
+		for di, ok := range hasPred {
+			if !ok {
+				addTT(up[rng.Intn(len(up))], down[di])
+			}
+		}
+	}
+	// Final layer merges into the consumer.
+	for _, ct := range layers[len(layers)-1] {
+		addTT(ct, sink)
+	}
+	return b.Build()
+}

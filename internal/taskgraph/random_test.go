@@ -1,0 +1,93 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/resource"
+)
+
+func randomCfg() RandomConfig {
+	return RandomConfig{
+		Layers:   3,
+		MinWidth: 1,
+		MaxWidth: 4,
+		EdgeProb: 0.3,
+		CTReq: func(r *rand.Rand) resource.Vector {
+			return resource.Vector{resource.CPU: 1 + r.Float64()*10}
+		},
+		TTBits: func(r *rand.Rand) float64 { return 1 + r.Float64()*10 },
+	}
+}
+
+func TestRandomLayeredStructure(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomLayered("rand", randomCfg(), rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+			t.Fatalf("seed %d: %d sources, %d sinks", seed, len(g.Sources()), len(g.Sinks()))
+		}
+		src, snk := g.Sources()[0], g.Sinks()[0]
+		// Every processing CT is reachable from the source and reaches
+		// the consumer (so a placement always carries every task).
+		for ct := 0; ct < g.NumCTs(); ct++ {
+			id := CTID(ct)
+			if id == src || id == snk {
+				continue
+			}
+			if !g.Reachable(src, id) {
+				t.Fatalf("seed %d: CT %d unreachable from source", seed, ct)
+			}
+			if !g.Reachable(id, snk) {
+				t.Fatalf("seed %d: CT %d does not reach consumer", seed, ct)
+			}
+		}
+	}
+}
+
+func TestRandomLayeredDeterministic(t *testing.T) {
+	a, err := RandomLayered("r", randomCfg(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomLayered("r", randomCfg(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCTs() != b.NumCTs() || a.NumTTs() != b.NumTTs() {
+		t.Fatal("same seed must generate identical graphs")
+	}
+	for tt := 0; tt < a.NumTTs(); tt++ {
+		if a.TT(TTID(tt)).Bits != b.TT(TTID(tt)).Bits {
+			t.Fatal("TT bits differ across same-seed runs")
+		}
+	}
+}
+
+func TestRandomLayeredValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := randomCfg()
+	bad.Layers = 0
+	if _, err := RandomLayered("r", bad, rng); err == nil {
+		t.Fatal("zero layers must error")
+	}
+	bad = randomCfg()
+	bad.MinWidth = 3
+	bad.MaxWidth = 2
+	if _, err := RandomLayered("r", bad, rng); err == nil {
+		t.Fatal("inverted widths must error")
+	}
+	bad = randomCfg()
+	bad.EdgeProb = 2
+	if _, err := RandomLayered("r", bad, rng); err == nil {
+		t.Fatal("bad edge prob must error")
+	}
+	bad = randomCfg()
+	bad.CTReq = nil
+	if _, err := RandomLayered("r", bad, rng); err == nil {
+		t.Fatal("missing generators must error")
+	}
+}

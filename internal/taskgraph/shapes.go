@@ -1,0 +1,62 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"sparcle/internal/resource"
+)
+
+// Linear builds the linear task graph of Fig. 7(a): a data source, n
+// processing CTs in a chain, and a result consumer, with a TT between each
+// consecutive pair. ctReqs must have length n (requirements of the
+// processing CTs, source and sink consume nothing) and ttBits length n+1
+// (bits of the chain's TTs, source->CT1 first, CTn->sink last).
+func Linear(name string, ctReqs []resource.Vector, ttBits []float64) (*Graph, error) {
+	if len(ttBits) != len(ctReqs)+1 {
+		return nil, fmt.Errorf("taskgraph: Linear %q: need %d TT bit values, got %d", name, len(ctReqs)+1, len(ttBits))
+	}
+	b := NewBuilder(name)
+	prev := b.AddCT("source", nil)
+	for i, req := range ctReqs {
+		ct := b.AddCT(fmt.Sprintf("ct%d", i+1), req)
+		b.AddTT(fmt.Sprintf("tt%d", i+1), prev, ct, ttBits[i])
+		prev = ct
+	}
+	sink := b.AddCT("consumer", nil)
+	b.AddTT(fmt.Sprintf("tt%d", len(ttBits)), prev, sink, ttBits[len(ttBits)-1])
+	return b.Build()
+}
+
+// Diamond builds the diamond task graph of Fig. 7(b): a source fans out to
+// `width` parallel first-stage CTs, each feeding a matching second-stage CT,
+// all of which merge into a join CT that feeds the consumer. ctReqs must
+// have length 2*width+1 (first stage, then second stage, then the join CT)
+// and ttBits length 3*width+1 (source fan-out TTs, stage-1->stage-2 TTs,
+// stage-2->join TTs, join->consumer TT).
+func Diamond(name string, width int, ctReqs []resource.Vector, ttBits []float64) (*Graph, error) {
+	if len(ctReqs) != 2*width+1 {
+		return nil, fmt.Errorf("taskgraph: Diamond %q: need %d CT requirements, got %d", name, 2*width+1, len(ctReqs))
+	}
+	if len(ttBits) != 3*width+1 {
+		return nil, fmt.Errorf("taskgraph: Diamond %q: need %d TT bit values, got %d", name, 3*width+1, len(ttBits))
+	}
+	b := NewBuilder(name)
+	src := b.AddCT("source", nil)
+	stage1 := make([]CTID, width)
+	stage2 := make([]CTID, width)
+	for i := 0; i < width; i++ {
+		stage1[i] = b.AddCT(fmt.Sprintf("s1-%d", i+1), ctReqs[i])
+		b.AddTT(fmt.Sprintf("fanout%d", i+1), src, stage1[i], ttBits[i])
+	}
+	for i := 0; i < width; i++ {
+		stage2[i] = b.AddCT(fmt.Sprintf("s2-%d", i+1), ctReqs[width+i])
+		b.AddTT(fmt.Sprintf("mid%d", i+1), stage1[i], stage2[i], ttBits[width+i])
+	}
+	join := b.AddCT("join", ctReqs[2*width])
+	for i := 0; i < width; i++ {
+		b.AddTT(fmt.Sprintf("merge%d", i+1), stage2[i], join, ttBits[2*width+i])
+	}
+	sink := b.AddCT("consumer", nil)
+	b.AddTT("deliver", join, sink, ttBits[3*width])
+	return b.Build()
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// Units: CPU capacities are megacycles per second (MHz) and CT
+// requirements megacycles per image, so requirement/capacity is seconds
+// per image. Link bandwidths are megabits per second and TT sizes
+// megabits per image.
+
+// Table II — the face detection application's per-image requirements.
+const (
+	ResizeMC        = 9880.0
+	DenoiseMC       = 12800.0
+	EdgeDetectionMC = 4826.0
+	FaceDetectionMC = 5658.0
+
+	RawImageMb      = 3.1 * 8   // 3.1 MB
+	ResizedImageMb  = 0.182 * 8 // 182 kB
+	DenoisedImageMb = 0.145 * 8 // 145 kB
+	EdgeMapMb       = 0.188 * 8 // 188 kB
+	DetectedFacesMb = 0.011 * 8 // 11 kB
+)
+
+// Table I — the testbed capacities.
+const (
+	FieldCPUMHz = 3000.0
+	CloudCPUMHz = 4 * 3800.0
+	CloudBWMbps = 100.0
+)
+
+// FaceDetectionApp builds the Fig. 5 pipeline: camera -> resize ->
+// denoise -> edge detection -> face detection -> consumer, with the Table
+// II requirements.
+func FaceDetectionApp() (*taskgraph.Graph, error) {
+	b := taskgraph.NewBuilder("face-detection")
+	camera := b.AddCT("camera", nil)
+	resize := b.AddCT("resize", resource.Vector{resource.CPU: ResizeMC})
+	denoise := b.AddCT("denoise", resource.Vector{resource.CPU: DenoiseMC})
+	edge := b.AddCT("edge-detection", resource.Vector{resource.CPU: EdgeDetectionMC})
+	face := b.AddCT("face-detection", resource.Vector{resource.CPU: FaceDetectionMC})
+	consumer := b.AddCT("consumer", nil)
+	b.AddTT("raw-images", camera, resize, RawImageMb)
+	b.AddTT("resized-images", resize, denoise, ResizedImageMb)
+	b.AddTT("denoised-images", denoise, edge, DenoisedImageMb)
+	b.AddTT("edge-maps", edge, face, EdgeMapMb)
+	b.AddTT("detected-faces", face, consumer, DetectedFacesMb)
+	return b.Build()
+}
+
+// TestbedNetwork builds the Fig. 4 network with the Table I capacities and
+// the given field bandwidth in Mbps (the Fig. 6 sweep variable).
+func TestbedNetwork(fieldBWMbps float64) (*network.Network, error) {
+	return network.CloudField(network.CloudFieldParams{
+		FieldCapacity:  resource.Vector{resource.CPU: FieldCPUMHz},
+		CloudCapacity:  resource.Vector{resource.CPU: CloudCPUMHz},
+		FieldBandwidth: fieldBWMbps,
+		CloudBandwidth: CloudBWMbps,
+	})
+}
+
+// TestbedPins pins the camera and the consumer of the face detection app
+// to field NCP 1 (the surveillance deployment of §V.A: images originate
+// and results are consumed at the field edge).
+func TestbedPins(g *taskgraph.Graph, net *network.Network) (placement.Pins, error) {
+	host, ok := net.NCPIDByName(network.CloudFieldNames.Field[0])
+	if !ok {
+		return nil, fmt.Errorf("workload: network %q has no NCP %q", net.Name(), network.CloudFieldNames.Field[0])
+	}
+	pins := placement.Pins{}
+	for _, src := range g.Sources() {
+		pins[src] = host
+	}
+	for _, snk := range g.Sinks() {
+		pins[snk] = host
+	}
+	return pins, nil
+}
+
+// CloudNCP returns the testbed's cloud node id.
+func CloudNCP(net *network.Network) (network.NCPID, error) {
+	id, ok := net.NCPIDByName(network.CloudFieldNames.Cloud)
+	if !ok {
+		return -1, fmt.Errorf("workload: network %q has no cloud NCP", net.Name())
+	}
+	return id, nil
+}

@@ -1,0 +1,290 @@
+// Package workload generates the scenarios of the SPARCLE evaluation (§V):
+// random task graphs and heterogeneous networks calibrated into the
+// paper's bottleneck regimes, the face-detection application of Table II,
+// and the cloud+field testbed of Table I / Fig. 4.
+//
+// All randomness flows through explicit *rand.Rand values so every
+// experiment is reproducible from its seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// Regime selects which side of the network binds the processing rate
+// (§V.B.1).
+type Regime int
+
+// The bottleneck regimes of the evaluation.
+const (
+	Balanced Regime = iota + 1
+	NCPBottleneck
+	LinkBottleneck
+	// MemoryBottleneck is the multi-resource-type case of Fig. 12: NCPs
+	// have ample CPU but scarce memory.
+	MemoryBottleneck
+)
+
+// String returns the regime name used in experiment tables.
+func (r Regime) String() string {
+	switch r {
+	case Balanced:
+		return "balanced"
+	case NCPBottleneck:
+		return "NCP-bottleneck"
+	case LinkBottleneck:
+		return "link-bottleneck"
+	case MemoryBottleneck:
+		return "memory-bottleneck"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Shape selects the task graph family of Fig. 7.
+type Shape int
+
+// The task graph shapes.
+const (
+	ShapeLinear Shape = iota + 1
+	ShapeDiamond
+	// ShapeRandom draws a random layered DAG (taskgraph.RandomLayered)
+	// with NumCTs layers of 1-3 CTs each.
+	ShapeRandom
+)
+
+// Topology selects the computing network family.
+type Topology int
+
+// The network topologies of §V.B.1, plus a binary tree (typical of
+// hierarchical IoT deployments: leaves -> aggregation -> gateway).
+const (
+	TopoStar Topology = iota + 1
+	TopoLine
+	TopoMesh
+	TopoTree
+)
+
+// Instance is one generated scenario: an application pinned onto a
+// network.
+type Instance struct {
+	Net   *network.Network
+	Graph *taskgraph.Graph
+	Pins  placement.Pins
+}
+
+// GenConfig parameterizes Generate.
+type GenConfig struct {
+	Shape    Shape
+	Topology Topology
+	Regime   Regime
+	// NumNCPs is the network size (default 8).
+	NumNCPs int
+	// NumCTs is the number of processing CTs for linear graphs (default
+	// 4) or the branch width for diamond graphs (default 3).
+	NumCTs int
+	// MultiResource adds memory requirements to every CT (always on for
+	// MemoryBottleneck).
+	MultiResource bool
+	// NCPFailProb / LinkFailProb set element failure probabilities
+	// (default 0).
+	NCPFailProb, LinkFailProb float64
+	// DistinctEndpoints forces sources and sinks onto pairwise distinct
+	// hosts (when the network is large enough), preventing degenerate
+	// instances where the whole pipeline collapses onto one NCP.
+	DistinctEndpoints bool
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.NumNCPs == 0 {
+		c.NumNCPs = 8
+	}
+	if c.NumCTs == 0 {
+		if c.Shape == ShapeDiamond {
+			c.NumCTs = 3
+		} else {
+			c.NumCTs = 4
+		}
+	}
+	if c.Regime == MemoryBottleneck {
+		c.MultiResource = true
+	}
+	return c
+}
+
+// Requirement and capacity scales. Requirements are drawn uniformly from
+// [reqLo, reqHi]; element capacities are scale * U(0.5, 1.5), so networks
+// are heterogeneous. The regime fixes the two scales: the scarce side gets
+// scarceScale and the generous side a 10x larger ratio (§V.B.1).
+const (
+	reqLo, reqHi  = 5.0, 25.0
+	scarceScale   = 30.0
+	generousScale = 300.0
+)
+
+// Generate builds one random Instance.
+func Generate(cfg GenConfig, rng *rand.Rand) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	g, err := generateGraph(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	net, err := generateNetwork(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	var pins placement.Pins
+	if cfg.DistinctEndpoints {
+		pins = PinDistinctEnds(g, net, rng)
+	} else {
+		pins = PinRandomEnds(g, net, rng)
+	}
+	return &Instance{Net: net, Graph: g, Pins: pins}, nil
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func generateGraph(cfg GenConfig, rng *rand.Rand) (*taskgraph.Graph, error) {
+	req := func() resource.Vector {
+		v := resource.Vector{resource.CPU: uniform(rng, reqLo, reqHi)}
+		if cfg.MultiResource {
+			v[resource.Memory] = uniform(rng, reqLo, reqHi)
+		}
+		return v
+	}
+	bits := func() float64 { return uniform(rng, reqLo, reqHi) }
+
+	switch cfg.Shape {
+	case ShapeLinear:
+		reqs := make([]resource.Vector, cfg.NumCTs)
+		for i := range reqs {
+			reqs[i] = req()
+		}
+		tt := make([]float64, cfg.NumCTs+1)
+		for i := range tt {
+			tt[i] = bits()
+		}
+		return taskgraph.Linear("linear", reqs, tt)
+	case ShapeDiamond:
+		reqs := make([]resource.Vector, 2*cfg.NumCTs+1)
+		for i := range reqs {
+			reqs[i] = req()
+		}
+		tt := make([]float64, 3*cfg.NumCTs+1)
+		for i := range tt {
+			tt[i] = bits()
+		}
+		return taskgraph.Diamond("diamond", cfg.NumCTs, reqs, tt)
+	case ShapeRandom:
+		return taskgraph.RandomLayered("random", taskgraph.RandomConfig{
+			Layers:   cfg.NumCTs,
+			MinWidth: 1,
+			MaxWidth: 3,
+			EdgeProb: 0.25,
+			CTReq:    func(r *rand.Rand) resource.Vector { return req() },
+			TTBits:   func(r *rand.Rand) float64 { return bits() },
+		}, rng)
+	default:
+		return nil, fmt.Errorf("workload: unknown shape %d", cfg.Shape)
+	}
+}
+
+func generateNetwork(cfg GenConfig, rng *rand.Rand) (*network.Network, error) {
+	ncpScale, linkScale := scarceScale, scarceScale
+	switch cfg.Regime {
+	case Balanced:
+		// both scarce: either side can bind
+	case NCPBottleneck, MemoryBottleneck:
+		linkScale = generousScale
+	case LinkBottleneck:
+		ncpScale = generousScale
+	default:
+		return nil, fmt.Errorf("workload: unknown regime %d", cfg.Regime)
+	}
+
+	capacity := func() resource.Vector {
+		v := resource.Vector{resource.CPU: ncpScale * uniform(rng, 0.5, 1.5)}
+		if cfg.MultiResource {
+			memScale := ncpScale
+			if cfg.Regime == MemoryBottleneck {
+				// CPU is generous, memory scarce.
+				v[resource.CPU] = generousScale * uniform(rng, 0.5, 1.5)
+				memScale = scarceScale
+			}
+			v[resource.Memory] = memScale * uniform(rng, 0.5, 1.5)
+		}
+		return v
+	}
+	bandwidth := func() float64 { return linkScale * uniform(rng, 0.5, 1.5) }
+
+	b := network.NewBuilder(fmt.Sprintf("gen-%s", cfg.Regime))
+	ids := make([]network.NCPID, cfg.NumNCPs)
+	for i := range ids {
+		ids[i] = b.AddNCP(fmt.Sprintf("ncp%d", i), capacity(), cfg.NCPFailProb)
+	}
+	link := func(a, c network.NCPID) {
+		b.AddLink(fmt.Sprintf("l%d-%d", a, c), a, c, bandwidth(), cfg.LinkFailProb)
+	}
+	switch cfg.Topology {
+	case TopoStar:
+		for i := 1; i < cfg.NumNCPs; i++ {
+			link(ids[0], ids[i])
+		}
+	case TopoLine:
+		for i := 1; i < cfg.NumNCPs; i++ {
+			link(ids[i-1], ids[i])
+		}
+	case TopoMesh:
+		for i := 0; i < cfg.NumNCPs; i++ {
+			for j := i + 1; j < cfg.NumNCPs; j++ {
+				link(ids[i], ids[j])
+			}
+		}
+	case TopoTree:
+		for i := 1; i < cfg.NumNCPs; i++ {
+			link(ids[(i-1)/2], ids[i])
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown topology %d", cfg.Topology)
+	}
+	return b.Build()
+}
+
+// PinRandomEnds pins every source and sink CT of g to NCPs drawn uniformly
+// at random (sources and sinks may share hosts, as cameras and consumers
+// can co-reside in deployments).
+func PinRandomEnds(g *taskgraph.Graph, net *network.Network, rng *rand.Rand) placement.Pins {
+	pins := placement.Pins{}
+	for _, src := range g.Sources() {
+		pins[src] = network.NCPID(rng.Intn(net.NumNCPs()))
+	}
+	for _, snk := range g.Sinks() {
+		pins[snk] = network.NCPID(rng.Intn(net.NumNCPs()))
+	}
+	return pins
+}
+
+// PinDistinctEnds pins sources and sinks onto pairwise distinct random
+// hosts; if there are more endpoints than NCPs, hosts wrap around.
+func PinDistinctEnds(g *taskgraph.Graph, net *network.Network, rng *rand.Rand) placement.Pins {
+	perm := rng.Perm(net.NumNCPs())
+	pins := placement.Pins{}
+	i := 0
+	for _, src := range g.Sources() {
+		pins[src] = network.NCPID(perm[i%len(perm)])
+		i++
+	}
+	for _, snk := range g.Sinks() {
+		pins[snk] = network.NCPID(perm[i%len(perm)])
+		i++
+	}
+	return pins
+}

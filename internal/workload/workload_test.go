@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/assign"
+	"sparcle/internal/network"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+func TestGenerateShapesAndTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []Shape{ShapeLinear, ShapeDiamond} {
+		for _, topo := range []Topology{TopoStar, TopoLine, TopoMesh} {
+			for _, regime := range []Regime{Balanced, NCPBottleneck, LinkBottleneck, MemoryBottleneck} {
+				inst, err := Generate(GenConfig{Shape: shape, Topology: topo, Regime: regime}, rng)
+				if err != nil {
+					t.Fatalf("%v/%v/%v: %v", shape, topo, regime, err)
+				}
+				if inst.Net.NumNCPs() != 8 {
+					t.Fatalf("default NCPs = %d", inst.Net.NumNCPs())
+				}
+				if !inst.Net.Connected() {
+					t.Fatal("generated network must be connected")
+				}
+				// Every source/sink is pinned.
+				for _, src := range inst.Graph.Sources() {
+					if _, ok := inst.Pins[src]; !ok {
+						t.Fatal("source not pinned")
+					}
+				}
+				for _, snk := range inst.Graph.Sinks() {
+					if _, ok := inst.Pins[snk]; !ok {
+						t.Fatal("sink not pinned")
+					}
+				}
+				// Instances must be schedulable by SPARCLE.
+				caps := inst.Net.BaseCapacities()
+				p, err := assign.Sparcle{}.Assign(inst.Graph, inst.Pins, inst.Net, caps)
+				if err != nil {
+					t.Fatalf("%v/%v/%v: assign: %v", shape, topo, regime, err)
+				}
+				if rate := p.Rate(caps); rate <= 0 {
+					t.Fatalf("%v/%v/%v: zero rate", shape, topo, regime)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(GenConfig{Shape: 0, Topology: TopoStar, Regime: Balanced}, rng); err == nil {
+		t.Fatal("unknown shape must error")
+	}
+	if _, err := Generate(GenConfig{Shape: ShapeLinear, Topology: 0, Regime: Balanced}, rng); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+	if _, err := Generate(GenConfig{Shape: ShapeLinear, Topology: TopoStar, Regime: 0}, rng); err == nil {
+		t.Fatal("unknown regime must error")
+	}
+}
+
+func TestRegimeCalibration(t *testing.T) {
+	// The regimes are defined by capacity-to-requirement ratios (§V.B.1):
+	// the generous side must offer roughly a 10x larger ratio than the
+	// scarce side. Verify the generator delivers that spread on average.
+	rng := rand.New(rand.NewSource(7))
+	ratios := func(regime Regime) (ncpRatio, linkRatio float64) {
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			inst, err := Generate(GenConfig{Shape: ShapeLinear, Topology: TopoStar, Regime: regime}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			capSum, reqSum, bwSum, bitSum := 0.0, 0.0, 0.0, 0.0
+			for v := 0; v < inst.Net.NumNCPs(); v++ {
+				capSum += inst.Net.NCP(network.NCPID(v)).Capacity[resource.CPU]
+			}
+			for c := 0; c < inst.Graph.NumCTs(); c++ {
+				reqSum += inst.Graph.CT(taskgraph.CTID(c)).Req[resource.CPU]
+			}
+			for l := 0; l < inst.Net.NumLinks(); l++ {
+				bwSum += inst.Net.Link(network.LinkID(l)).Bandwidth
+			}
+			bitSum += inst.Graph.TotalBits()
+			ncpRatio += capSum / float64(inst.Net.NumNCPs()) / (reqSum / float64(inst.Graph.NumCTs()-2))
+			linkRatio += bwSum / float64(inst.Net.NumLinks()) / (bitSum / float64(inst.Graph.NumTTs()))
+		}
+		return ncpRatio / trials, linkRatio / trials
+	}
+
+	ncpR, linkR := ratios(NCPBottleneck)
+	if linkR < 5*ncpR {
+		t.Fatalf("NCP-bottleneck: link ratio %v not >> NCP ratio %v", linkR, ncpR)
+	}
+	ncpR, linkR = ratios(LinkBottleneck)
+	if ncpR < 5*linkR {
+		t.Fatalf("link-bottleneck: NCP ratio %v not >> link ratio %v", ncpR, linkR)
+	}
+	ncpR, linkR = ratios(Balanced)
+	if ncpR > 3*linkR || linkR > 3*ncpR {
+		t.Fatalf("balanced: ratios %v vs %v diverge", ncpR, linkR)
+	}
+}
+
+func TestMemoryBottleneckAddsMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst, err := Generate(GenConfig{Shape: ShapeDiamond, Topology: TopoStar, Regime: MemoryBottleneck}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := 0; i < inst.Graph.NumCTs(); i++ {
+		if inst.Graph.CT(taskgraph.CTID(i)).Req[resource.Memory] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("memory-bottleneck instances must have memory requirements")
+	}
+	// NCP memory must be scarcer than CPU.
+	cap0 := inst.Net.NCP(0).Capacity
+	if cap0[resource.Memory] >= cap0[resource.CPU] {
+		t.Fatalf("memory %v not scarcer than cpu %v", cap0[resource.Memory], cap0[resource.CPU])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Shape: ShapeLinear, Topology: TopoLine, Regime: Balanced}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Shape: ShapeLinear, Topology: TopoLine, Regime: Balanced}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.Net.NumNCPs(); v++ {
+		if !a.Net.NCP(network.NCPID(v)).Capacity.Equal(b.Net.NCP(network.NCPID(v)).Capacity) {
+			t.Fatal("same seed must generate identical networks")
+		}
+	}
+}
+
+func TestFaceDetectionApp(t *testing.T) {
+	g, err := FaceDetectionApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCTs() != 6 || g.NumTTs() != 5 {
+		t.Fatalf("sizes: %d CTs, %d TTs", g.NumCTs(), g.NumTTs())
+	}
+	if got := g.TotalReq()[resource.CPU]; got != ResizeMC+DenoiseMC+EdgeDetectionMC+FaceDetectionMC {
+		t.Fatalf("total req = %v", got)
+	}
+	// Raw image is by far the heaviest transport.
+	if RawImageMb < 10*ResizedImageMb {
+		t.Fatal("Table II constants corrupted")
+	}
+}
+
+func TestTestbed(t *testing.T) {
+	net, err := TestbedNetwork(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FaceDetectionApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins, err := TestbedPins(g, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := net.BaseCapacities()
+	p, err := assign.Sparcle{}.Assign(g, pins, net, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := p.Rate(caps); rate <= 0 {
+		t.Fatalf("testbed rate = %v", rate)
+	}
+	cloud, err := CloudNCP(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.NCP(cloud).Capacity[resource.CPU]; got != CloudCPUMHz {
+		t.Fatalf("cloud capacity = %v", got)
+	}
+}
+
+func TestGenerateRandomShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		inst, err := Generate(GenConfig{
+			Shape:    ShapeRandom,
+			Topology: TopoStar,
+			Regime:   Balanced,
+			NumCTs:   3,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := inst.Net.BaseCapacities()
+		p, err := assign.Sparcle{}.Assign(inst.Graph, inst.Pins, inst.Net, caps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rate := p.Rate(caps); rate <= 0 {
+			t.Fatalf("trial %d: zero rate", trial)
+		}
+	}
+}
+
+func TestTreeTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst, err := Generate(GenConfig{
+		Shape:    ShapeLinear,
+		Topology: TopoTree,
+		Regime:   Balanced,
+		NumNCPs:  7,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Net.NumLinks() != 6 {
+		t.Fatalf("tree links = %d, want n-1 = 6", inst.Net.NumLinks())
+	}
+	if !inst.Net.Connected() {
+		t.Fatal("tree must be connected")
+	}
+	// Root has two children; leaves have one incident link.
+	if got := len(inst.Net.Incident(0)); got != 2 {
+		t.Fatalf("root degree = %d", got)
+	}
+	caps := inst.Net.BaseCapacities()
+	p, err := assign.Sparcle{}.Assign(inst.Graph, inst.Pins, inst.Net, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate(caps) <= 0 {
+		t.Fatal("zero rate on tree")
+	}
+}

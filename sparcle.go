@@ -1,0 +1,211 @@
+// Package sparcle is the public API of the SPARCLE scheduling system for
+// stream processing applications over dispersed computing networks
+// (Rahimzadeh et al., IEEE ICDCS 2020).
+//
+// The package re-exports the stable surface of the internal
+// implementation: build a Network of computing nodes and links, describe
+// applications as TaskGraphs of computation and transport tasks, and
+// Submit them to a Scheduler, which places every task (Algorithm 2 over
+// Algorithm 1), provisions redundant task-assignment paths until the
+// requested availability holds, reserves capacity for guaranteed-rate
+// applications, and shares the rest among best-effort applications with
+// weighted proportional fairness.
+//
+//	net, _ := sparcle.NewNetworkBuilder("edge").  ... .Build()
+//	app, _ := sparcle.NewTaskGraphBuilder("pipeline"). ... .Build()
+//	sched := sparcle.NewScheduler(net)
+//	placed, err := sched.Submit(sparcle.App{ ... })
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// architecture.
+package sparcle
+
+import (
+	"math/rand"
+
+	"sparcle/internal/assign"
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/simnet"
+	"sparcle/internal/taskgraph"
+)
+
+// Resource kinds and vectors.
+type (
+	// ResourceKind names one resource type ("cpu", "memory", ...).
+	ResourceKind = resource.Kind
+	// Resources maps resource kinds to amounts: requirements per data
+	// unit on tasks, capacities per second on NCPs.
+	Resources = resource.Vector
+)
+
+// Standard resource kinds.
+const (
+	CPU    = resource.CPU
+	Memory = resource.Memory
+)
+
+// Network model.
+type (
+	// Network is an immutable dispersed computing network.
+	Network = network.Network
+	// NetworkBuilder incrementally constructs a Network.
+	NetworkBuilder = network.Builder
+	// NCPID identifies a computing node.
+	NCPID = network.NCPID
+	// LinkID identifies a link.
+	LinkID = network.LinkID
+	// Capacities holds residual element capacities.
+	Capacities = network.Capacities
+)
+
+// NewNetworkBuilder returns a builder for a dispersed computing network.
+func NewNetworkBuilder(name string) *NetworkBuilder { return network.NewBuilder(name) }
+
+// Application model.
+type (
+	// TaskGraph is an immutable application DAG of computation tasks
+	// (vertices) and transport tasks (edges).
+	TaskGraph = taskgraph.Graph
+	// TaskGraphBuilder incrementally constructs a TaskGraph.
+	TaskGraphBuilder = taskgraph.Builder
+	// CTID identifies a computation task.
+	CTID = taskgraph.CTID
+	// TTID identifies a transport task.
+	TTID = taskgraph.TTID
+)
+
+// NewTaskGraphBuilder returns a builder for an application task graph.
+func NewTaskGraphBuilder(name string) *TaskGraphBuilder { return taskgraph.NewBuilder(name) }
+
+// Placement and scheduling.
+type (
+	// Pins maps CTs (data sources, result consumers, or any task the
+	// operator wants fixed) to their hosts.
+	Pins = placement.Pins
+	// Placement is one task assignment path: CTs on NCPs, TTs on link
+	// routes.
+	Placement = placement.Placement
+	// Path couples a placement with its allocated rate.
+	Path = placement.Path
+	// Algorithm is a pluggable task-assignment algorithm.
+	Algorithm = placement.Algorithm
+
+	// App is a stream processing application plus its QoE request.
+	App = core.App
+	// QoS is the requested quality of experience.
+	QoS = core.QoS
+	// Class distinguishes best-effort from guaranteed-rate applications.
+	Class = core.Class
+	// PlacedApp is an admitted application with its paths and rates.
+	PlacedApp = core.PlacedApp
+	// Scheduler is the SPARCLE system.
+	Scheduler = core.Scheduler
+	// SchedulerOption configures a Scheduler.
+	SchedulerOption = core.Option
+)
+
+// Application classes.
+const (
+	BestEffort     = core.BestEffort
+	GuaranteedRate = core.GuaranteedRate
+)
+
+// ErrRejected is wrapped by Scheduler.Submit when an application's QoE
+// cannot be met.
+var ErrRejected = core.ErrRejected
+
+// NewScheduler returns a SPARCLE scheduler over net.
+func NewScheduler(net *Network, opts ...SchedulerOption) *Scheduler {
+	return core.New(net, opts...)
+}
+
+// WithAlgorithm swaps the task assignment algorithm (defaults to SPARCLE's
+// dynamic ranking); used to run baselines through the same pipeline.
+func WithAlgorithm(alg Algorithm) SchedulerOption { return core.WithAlgorithm(alg) }
+
+// WithDefaultMaxPaths bounds the task-assignment paths per application
+// when QoS.MaxPaths is zero.
+func WithDefaultMaxPaths(n int) SchedulerOption { return core.WithDefaultMaxPaths(n) }
+
+// WithRandSeed seeds the scheduler's internal randomness.
+func WithRandSeed(seed int64) SchedulerOption { return core.WithRandSeed(seed) }
+
+// WithMaxMinFairness switches Best-Effort allocation to weighted max-min
+// fairness instead of the paper's proportional fairness.
+func WithMaxMinFairness() SchedulerOption { return core.WithMaxMinFairness() }
+
+// WithDiverseMultiPath biases later task assignment paths away from
+// elements earlier paths use (bias in (0,1)), raising availability per
+// path at some rate cost.
+func WithDiverseMultiPath(bias float64) SchedulerOption { return core.WithDiverseMultiPath(bias) }
+
+// DynamicRanking returns SPARCLE's task assignment algorithm (Algorithm 2)
+// for direct use outside a Scheduler.
+func DynamicRanking() Algorithm { return assign.Sparcle{} }
+
+// Decision is one step of the dynamic-ranking placement, delivered to the
+// observer of DynamicRankingObserved.
+type Decision = assign.Decision
+
+// DynamicRankingObserved returns Algorithm 2 with an observer that
+// receives every placement decision — useful for explaining placements.
+func DynamicRankingObserved(observer func(Decision)) Algorithm {
+	return assign.Sparcle{Observer: observer}
+}
+
+// Capacity fluctuation (resource dynamics beyond the paper; see
+// Scheduler.ApplyFluctuation and Scheduler.Repair).
+type (
+	// ElementScale maps network elements to capacity scale factors.
+	ElementScale = core.ElementScale
+	// FluctuationReport describes the effect of a capacity fluctuation.
+	FluctuationReport = core.FluctuationReport
+)
+
+// NCPElementOf returns the fluctuation/availability element id of an NCP.
+func NCPElementOf(v NCPID) placement.Element { return placement.NCPElement(v) }
+
+// LinkElementOf returns the element id of a link in net.
+func LinkElementOf(net *Network, l LinkID) placement.Element {
+	return placement.LinkElement(net, l)
+}
+
+// AssignOnce runs one task assignment of graph onto net at full element
+// capacities and returns the placement and its maximum stable processing
+// rate.
+func AssignOnce(graph *TaskGraph, pins Pins, net *Network) (*Placement, float64, error) {
+	caps := net.BaseCapacities()
+	p, err := assign.Sparcle{}.Assign(graph, pins, net, caps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, p.Rate(caps), nil
+}
+
+// MultiPathAssign finds up to maxPaths task assignment paths, each at the
+// bottleneck rate the residual network supports (§IV.D).
+func MultiPathAssign(graph *TaskGraph, pins Pins, net *Network, maxPaths int) ([]Path, error) {
+	paths, _, err := assign.MultiPath(assign.Sparcle{}, graph, pins, net, net.BaseCapacities(), maxPaths)
+	return paths, err
+}
+
+// Simulation.
+type (
+	// Simulator executes placed applications as a discrete-event
+	// queueing network.
+	Simulator = simnet.Sim
+	// SimConfig controls one simulation run.
+	SimConfig = simnet.Config
+	// SimReport is the outcome of a simulation run.
+	SimReport = simnet.Report
+)
+
+// NewSimulator returns a discrete-event simulator over net.
+func NewSimulator(net *Network) *Simulator { return simnet.New(net) }
+
+// NewRand returns a deterministic random source for the helpers that take
+// one; the library never uses global randomness.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
