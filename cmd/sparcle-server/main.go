@@ -6,13 +6,17 @@
 //
 // Usage:
 //
-//	sparcle-server -f scenario.json [-addr :8080] [-submit]
+//	sparcle-server -f scenario.json [-addr :8080] [-submit] [-pprof] [-v]
 //
-// With -submit, the scenario's applications are admitted at startup.
+// With -submit, the scenario's applications are admitted at startup. With
+// -pprof, the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/. With -v, scheduler activity is logged to stderr.
 //
 // API summary (see internal/server for details):
 //
-//	GET    /healthz
+//	GET    /healthz               liveness, uptime and admission summary
+//	GET    /metrics               Prometheus text exposition
+//	GET    /debug/vars            JSON metrics snapshot
 //	GET    /network
 //	GET    /apps
 //	POST   /apps                  body: one scenario app spec
@@ -26,11 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"sparcle/internal/core"
+	"sparcle/internal/obs"
 	"sparcle/internal/scenario"
 	"sparcle/internal/server"
 )
@@ -50,6 +57,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	submit := fs.Bool("submit", false, "admit the scenario's applications at startup")
 	seed := fs.Int64("seed", 1, "scheduler random seed")
+	withPprof := fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	verbose := fs.Bool("v", false, "log scheduler activity to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +78,11 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return err
 	}
 
-	srv := server.New(netw, core.WithRandSeed(*seed))
+	opts := []core.Option{core.WithRandSeed(*seed)}
+	if *verbose {
+		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
+	}
+	srv := server.New(netw, opts...)
 	if *submit {
 		apps, err := f.BuildApps(netw)
 		if err != nil {
@@ -89,7 +102,18 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *withPprof {
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+	}
+	httpSrv := &http.Server{Handler: handler}
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -88,3 +88,46 @@ func TestServerValidation(t *testing.T) {
 		t.Fatal("bad address must error")
 	}
 }
+
+// TestServerObservabilityEndpoints starts the server with -pprof and
+// checks /metrics, /debug/vars and /debug/pprof/ all respond.
+func TestServerObservabilityEndpoints(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-f", writeExample(t), "-addr", "127.0.0.1:0", "-submit", "-pprof"}, &out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "sparcle_admissions_total") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, "sparcle_admissions_total") {
+		t.Fatalf("/debug/vars: %d\n%s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %d\n%s", code, body)
+	}
+}

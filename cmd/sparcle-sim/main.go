@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	sparcle-sim -f scenario.json [-duration 2000] [-warmup 200] [-load 0.9]
+//	sparcle-sim -f scenario.json [-duration 2000] [-warmup 200] [-load 0.9] [-trace out.jsonl] [-v]
+//
+// -trace writes scheduler decision traces as JSON Lines to the given
+// file; -v logs scheduler activity to stderr.
 package main
 
 import (
@@ -13,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"sparcle/internal/core"
+	"sparcle/internal/obs"
 	"sparcle/internal/scenario"
 	"sparcle/internal/simnet"
 )
@@ -33,6 +38,8 @@ func run(args []string, out io.Writer) error {
 	duration := fs.Float64("duration", 2000, "simulated seconds")
 	warmup := fs.Float64("warmup", 200, "warmup seconds excluded from statistics")
 	load := fs.Float64("load", 0.95, "input rate as a fraction of each path's allocated rate")
+	trace := fs.String("trace", "", "write scheduler decision traces as JSON Lines to this file")
+	verbose := fs.Bool("v", false, "log scheduler activity to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +66,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	sched := core.New(net)
+	var opts []core.Option
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		tr := obs.NewTracer(tf)
+		defer func() {
+			tr.Close()
+			tf.Close()
+		}()
+		opts = append(opts, core.WithTracer(tr))
+	}
+	if *verbose {
+		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
+	}
+	sched := core.New(net, opts...)
 	type placed struct {
 		name  string
 		first int // index of the app's first path in the simulator

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	sparcle -f scenario.json [-json] [-seed S]
+//	sparcle -f scenario.json [-json] [-seed S] [-trace out.jsonl] [-v]
 //	sparcle -example > scenario.json
+//
+// -trace writes every scheduler decision (dynamic-ranking iterations,
+// widest-path routing, admissions) as JSON Lines to the given file; -v
+// logs scheduler activity to stderr.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -22,6 +27,7 @@ import (
 	"sparcle/internal/assign"
 	"sparcle/internal/core"
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/scenario"
 	"sparcle/internal/taskgraph"
@@ -57,6 +63,8 @@ func run(args []string, out io.Writer) error {
 	example := fs.Bool("example", false, "print an example scenario and exit")
 	explain := fs.Bool("explain", false, "print each dynamic-ranking placement decision")
 	dot := fs.String("dot", "", "write the first path of each admitted app as Graphviz DOT to this file")
+	trace := fs.String("trace", "", "write scheduler decision traces as JSON Lines to this file")
+	verbose := fs.Bool("v", false, "log scheduler activity to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +99,21 @@ func run(args []string, out io.Writer) error {
 	opts := []core.Option{core.WithRandSeed(*seed)}
 	if *explain {
 		opts = append(opts, core.WithAlgorithm(explainingAlgorithm(out)))
+	}
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		tr := obs.NewTracer(tf)
+		defer func() {
+			tr.Close()
+			tf.Close()
+		}()
+		opts = append(opts, core.WithTracer(tr))
+	}
+	if *verbose {
+		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
 	}
 	sched := core.New(net, opts...)
 	results := make([]appResult, 0, len(apps))

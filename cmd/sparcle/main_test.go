@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"sparcle/internal/obs"
 	"sparcle/internal/scenario"
 )
 
@@ -130,5 +131,43 @@ func TestDOTFlag(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "digraph placement") {
 		t.Fatalf("DOT file content wrong:\n%s", data)
+	}
+}
+
+// TestRunTrace runs the example scenario with -trace and checks the
+// produced JSON Lines decode into the expected decision events.
+func TestRunTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-f", writeExample(t), "-trace", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	types := map[string]int{}
+	for i, ev := range events {
+		typ, _ := ev["type"].(string)
+		if typ == "" {
+			t.Fatalf("event %d has no type: %v", i, ev)
+		}
+		types[typ]++
+		if seq, ok := ev["seq"].(float64); !ok || int(seq) != i+1 {
+			t.Fatalf("event %d has seq %v, want %d", i, ev["seq"], i+1)
+		}
+	}
+	for _, want := range []string{"ranking", "route", "admission"} {
+		if types[want] == 0 {
+			t.Fatalf("no %q events; got %v", want, types)
+		}
 	}
 }

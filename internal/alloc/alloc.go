@@ -64,23 +64,45 @@ func (o Options) withDefaults() Options {
 // ErrNoFlows is returned by Solve when called without flows.
 var ErrNoFlows = errors.New("alloc: no flows")
 
+// Stats describes one solver run for the telemetry layer.
+type Stats struct {
+	// Flows and Rows are the problem dimensions: flow count and binding
+	// capacity constraints.
+	Flows, Rows int
+	// Cycles is the number of full coordinate-descent passes performed.
+	Cycles int
+	// Converged reports whether the descent met the tolerance before
+	// exhausting its cycle budget.
+	Converged bool
+}
+
 // Solve returns the weighted proportional-fair rates of the flows under
 // the given capacities. A flow whose path crosses a zero-capacity element
 // receives rate 0; a flow with no load anywhere is rejected as unbounded.
 func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, error) {
+	x, _, err := SolveStats(caps, flows, opt)
+	return x, err
+}
+
+// SolveStats is Solve plus solver statistics (problem size, descent
+// cycles, convergence) for instrumentation; the stats cost nothing to
+// collect.
+func SolveStats(caps *network.Capacities, flows []Flow, opt Options) ([]float64, Stats, error) {
+	stats := Stats{Flows: len(flows)}
 	opt = opt.withDefaults()
 	if len(flows) == 0 {
-		return nil, ErrNoFlows
+		return nil, stats, ErrNoFlows
 	}
 	for i, f := range flows {
 		if f.Weight <= 0 || math.IsNaN(f.Weight) {
-			return nil, fmt.Errorf("alloc: flow %d has invalid weight %v", i, f.Weight)
+			return nil, stats, fmt.Errorf("alloc: flow %d has invalid weight %v", i, f.Weight)
 		}
 	}
 	rows, boundable, err := buildRows(caps, flows)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
+	stats.Rows = len(rows)
 	x := make([]float64, len(flows))
 	// Flows forced to zero by a zero-capacity element stay zero; the rest
 	// are optimized.
@@ -89,7 +111,7 @@ func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, erro
 		active[f] = boundable[f]
 	}
 	if len(rows) == 0 {
-		return nil, errors.New("alloc: no capacity constraints bind any flow")
+		return nil, stats, errors.New("alloc: no capacity constraints bind any flow")
 	}
 
 	// denom[f] tracks Σ_j λ_j R_{jf} for every active flow, maintained
@@ -130,6 +152,7 @@ func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, erro
 	}
 
 	for cycle := 0; cycle < opt.Cycles; cycle++ {
+		stats.Cycles = cycle + 1
 		maxRel := 0.0
 		for j, r := range rows {
 			var newPrice float64
@@ -140,7 +163,7 @@ func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, erro
 				for demandAt(j, hi) > r.cap {
 					hi *= 2
 					if math.IsInf(hi, 1) {
-						return nil, errors.New("alloc: dual price diverged")
+						return nil, stats, errors.New("alloc: dual price diverged")
 					}
 				}
 				for k := 0; k < 100; k++ {
@@ -166,6 +189,7 @@ func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, erro
 			}
 		}
 		if maxRel < opt.Tolerance {
+			stats.Converged = true
 			break
 		}
 	}
@@ -176,7 +200,7 @@ func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, erro
 			continue
 		}
 		if denom[f] <= 0 {
-			return nil, fmt.Errorf("alloc: flow %d has zero congestion price (unbounded)", f)
+			return nil, stats, fmt.Errorf("alloc: flow %d has zero congestion price (unbounded)", f)
 		}
 		x[f] = flows[f].Weight / denom[f]
 	}
@@ -199,7 +223,7 @@ func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, erro
 			x[f] *= scale
 		}
 	}
-	return x, nil
+	return x, stats, nil
 }
 
 // Utility returns the objective of problem (4) at rates x:

@@ -262,3 +262,31 @@ func TestPredictOrderIndependence(t *testing.T) {
 		t.Fatal("prediction is order dependent")
 	}
 }
+
+func TestSolveStats(t *testing.T) {
+	net, links := line3(t, 100, 1e6)
+	flows := []Flow{
+		pipelineFlow(t, net, 0, 1, 2, 10, 1, 1, []network.LinkID{links[0]}, []network.LinkID{links[1]}),
+		pipelineFlow(t, net, 0, 1, 2, 10, 1, 3, []network.LinkID{links[0]}, []network.LinkID{links[1]}),
+	}
+	x, stats, err := SolveStats(net.BaseCapacities(), flows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Flows != 2 || stats.Rows == 0 {
+		t.Fatalf("stats dimensions = %+v", stats)
+	}
+	if !stats.Converged || stats.Cycles <= 0 || stats.Cycles > 300 {
+		t.Fatalf("stats convergence = %+v", stats)
+	}
+	// Solve is SolveStats minus the stats.
+	y, err := Solve(net.BaseCapacities(), flows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range x {
+		if x[f] != y[f] {
+			t.Fatalf("Solve diverges from SolveStats: %v vs %v", y, x)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/resource"
 	"sparcle/internal/taskgraph"
@@ -28,6 +29,11 @@ type Sparcle struct {
 	// picks with their γ values. Useful for explaining why a task landed
 	// where it did.
 	Observer func(Decision)
+	// Tracer, when enabled, records every ranking iteration (with the
+	// per-CT candidate scores) and every committed widest-path route as
+	// JSONL decision-trace events. A nil tracer is free: no event
+	// payloads are built and the hot loop performs no extra allocations.
+	Tracer *obs.Tracer
 }
 
 // Decision is one step of the dynamic-ranking placement, reported through
@@ -54,22 +60,27 @@ func (Sparcle) Name() string { return "SPARCLE" }
 
 // Assign implements placement.Algorithm.
 func (a Sparcle) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
-	st, err := newState(g, pins, net, caps)
+	st, err := newStateTraced(g, pins, net, caps, a.Tracer)
 	if err != nil {
 		return nil, err
 	}
 	st.literalNu = a.LiteralNu
-	if a.Observer != nil {
-		for i, ct := range st.placed {
-			host := st.p.Host(ct)
+	for i, ct := range st.placed {
+		host := st.p.Host(ct)
+		if a.Observer != nil {
 			a.Observer(Decision{
 				Step: i, CT: ct, Host: host, Pinned: true,
 				CTName: g.CT(ct).Name, HostName: net.NCP(host).Name,
 			})
 		}
+		if st.tracer.Enabled() {
+			st.tracer.Ranking(obs.RankingEvent{
+				Step: i, CT: g.CT(ct).Name, Host: net.NCP(host).Name, Pinned: true,
+			})
+		}
 	}
 	for len(st.unplaced) > 0 {
-		ct, host, gamma, err := st.dynamicRankNext()
+		ct, host, gamma, candidates, err := st.dynamicRankNext()
 		if err != nil {
 			return nil, err
 		}
@@ -77,6 +88,12 @@ func (a Sparcle) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Ne
 			a.Observer(Decision{
 				Step: len(st.placed), CT: ct, Host: host, Gamma: gamma,
 				CTName: g.CT(ct).Name, HostName: net.NCP(host).Name,
+			})
+		}
+		if st.tracer.Enabled() {
+			st.tracer.Ranking(obs.RankingEvent{
+				Step: len(st.placed), CT: g.CT(ct).Name, Host: net.NCP(host).Name,
+				Gamma: obs.Float(gamma), Candidates: candidates,
 			})
 		}
 		if err := st.place(ct, host); err != nil {
@@ -155,9 +172,16 @@ type state struct {
 	// literalNu switches gamma to the paper-literal ν_i (every placed
 	// reachable CT) instead of the frontier restriction.
 	literalNu bool
+	// tracer records ranking iterations and committed routes; nil (the
+	// common case) disables all event construction.
+	tracer *obs.Tracer
 }
 
 func newState(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*state, error) {
+	return newStateTraced(g, pins, net, caps, nil)
+}
+
+func newStateTraced(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities, tracer *obs.Tracer) (*state, error) {
 	for _, src := range g.Sources() {
 		if _, ok := pins[src]; !ok {
 			return nil, fmt.Errorf("assign: source CT %q (%d) has no pinned host", g.CT(src).Name, src)
@@ -175,6 +199,7 @@ func newState(g *taskgraph.Graph, pins placement.Pins, net *network.Network, cap
 		p:        placement.New(g, net),
 		unplaced: make(map[taskgraph.CTID]bool, g.NumCTs()),
 		linkLoad: make([]float64, net.NumLinks()),
+		tracer:   tracer,
 	}
 	for ct := 0; ct < g.NumCTs(); ct++ {
 		st.unplaced[taskgraph.CTID(ct)] = true
@@ -212,10 +237,18 @@ func (st *state) place(ct taskgraph.CTID, host network.NCPID) error {
 		if oHost < 0 {
 			continue
 		}
-		route, _, ok := WidestPath(st.net, st.caps, st.linkLoad, tt.Bits, st.p.Host(tt.From), st.p.Host(tt.To))
+		route, bottleneck, relaxations, ok := widestPathCounted(st.net, st.caps, st.linkLoad, tt.Bits, st.p.Host(tt.From), st.p.Host(tt.To))
 		if !ok {
 			return fmt.Errorf("assign: no route for TT %q between NCPs %d and %d: %w",
 				tt.Name, st.p.Host(tt.From), st.p.Host(tt.To), placement.ErrInfeasible)
+		}
+		if st.tracer.Enabled() {
+			st.tracer.Route(obs.RouteEvent{
+				TT:   tt.Name,
+				From: st.net.NCP(st.p.Host(tt.From)).Name,
+				To:   st.net.NCP(st.p.Host(tt.To)).Name,
+				Hops: len(route), Bottleneck: obs.Float(bottleneck), Relaxations: relaxations,
+			})
 		}
 		if err := st.p.PlaceTT(ttID, route); err != nil {
 			return err
@@ -358,11 +391,17 @@ func (st *state) bestHostNCPOnly(ct taskgraph.CTID) (network.NCPID, bool) {
 // dynamicRankNext implements Algorithm 2 lines 6-16: every unplaced CT is
 // scored by the bottleneck it would impose at its best host, and the CT
 // with the smallest such bottleneck — the most constrained one — is placed
-// first at that host. It returns the chosen CT, its host and its γ.
-func (st *state) dynamicRankNext() (taskgraph.CTID, network.NCPID, float64, error) {
+// first at that host. It returns the chosen CT, its host and its γ,
+// plus — only when the tracer is enabled, so the hot path allocates
+// nothing — the best-host score of every candidate CT in the iteration.
+func (st *state) dynamicRankNext() (taskgraph.CTID, network.NCPID, float64, []obs.RankingCandidate, error) {
 	bestCT := taskgraph.CTID(-1)
 	bestHost := network.NCPID(-1)
 	bestRate := math.Inf(1)
+	var candidates []obs.RankingCandidate
+	if st.tracer.Enabled() {
+		candidates = make([]obs.RankingCandidate, 0, len(st.unplaced))
+	}
 	cts := make([]taskgraph.CTID, 0, len(st.unplaced))
 	for ct := range st.unplaced {
 		cts = append(cts, ct)
@@ -371,7 +410,12 @@ func (st *state) dynamicRankNext() (taskgraph.CTID, network.NCPID, float64, erro
 	for _, ct := range cts {
 		host, rate, feasible := st.bestHost(ct)
 		if !feasible {
-			return -1, -1, 0, fmt.Errorf("assign: CT %q (%d): %w", st.g.CT(ct).Name, ct, placement.ErrInfeasible)
+			return -1, -1, 0, nil, fmt.Errorf("assign: CT %q (%d): %w", st.g.CT(ct).Name, ct, placement.ErrInfeasible)
+		}
+		if candidates != nil {
+			candidates = append(candidates, obs.RankingCandidate{
+				CT: st.g.CT(ct).Name, Host: st.net.NCP(host).Name, Gamma: obs.Float(rate),
+			})
 		}
 		if rate < bestRate {
 			bestRate = rate
@@ -385,11 +429,11 @@ func (st *state) dynamicRankNext() (taskgraph.CTID, network.NCPID, float64, erro
 		bestCT = cts[0]
 		h, _, feasible := st.bestHost(bestCT)
 		if !feasible {
-			return -1, -1, 0, fmt.Errorf("assign: CT %d: %w", bestCT, placement.ErrInfeasible)
+			return -1, -1, 0, nil, fmt.Errorf("assign: CT %d: %w", bestCT, placement.ErrInfeasible)
 		}
 		bestHost = h
 	}
-	return bestCT, bestHost, bestRate, nil
+	return bestCT, bestHost, bestRate, candidates, nil
 }
 
 // rateWith returns min over resource kinds of cap[k] / (base[k]+extra[k]),

@@ -1,0 +1,111 @@
+package assign
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/obs"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// traceInstance is a 3-CT pipeline over a 4-NCP diamond with two middle
+// hosts, so the ranked CT has a real host choice and every TT a route.
+func traceInstance(t *testing.T) (*taskgraph.Graph, placement.Pins, *network.Network) {
+	t.Helper()
+	b := network.NewBuilder("tr")
+	src := b.AddNCP("src", nil, 0)
+	m1 := b.AddNCP("m1", resource.Vector{resource.CPU: 100}, 0)
+	m2 := b.AddNCP("m2", resource.Vector{resource.CPU: 50}, 0)
+	snk := b.AddNCP("snk", nil, 0)
+	b.AddLink("s1", src, m1, 1000, 0)
+	b.AddLink("s2", src, m2, 1000, 0)
+	b.AddLink("k1", m1, snk, 1000, 0)
+	b.AddLink("k2", m2, snk, 1000, 0)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustLinear(t, []float64{10}, []float64{1, 1})
+	return g, pinEnds(g, src, snk), net
+}
+
+func TestAssignTraceEvents(t *testing.T) {
+	g, pins, net := traceInstance(t)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	if _, err := (Sparcle{Tracer: tr}).Assign(g, pins, net, net.BaseCapacities()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e["type"].(string)]++
+	}
+	// 2 pinned + 1 ranked placement; 2 TTs routed.
+	if counts["ranking"] != 3 {
+		t.Fatalf("ranking events = %d (events %v)", counts["ranking"], events)
+	}
+	if counts["route"] != 2 {
+		t.Fatalf("route events = %d", counts["route"])
+	}
+	var ranked map[string]any
+	for _, e := range events {
+		if e["type"] == "ranking" && e["pinned"] == nil {
+			ranked = e
+		}
+	}
+	if ranked == nil {
+		t.Fatal("no ranked placement event")
+	}
+	// The lone unplaced CT picks the bigger middle NCP; its candidate
+	// scores are recorded.
+	if ranked["ct"] != "ct1" || ranked["host"] != "m1" {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	cands, ok := ranked["candidates"].([]any)
+	if !ok || len(cands) != 1 {
+		t.Fatalf("candidates = %v", ranked["candidates"])
+	}
+	for _, e := range events {
+		if e["type"] == "route" {
+			if e["relaxations"].(float64) <= 0 || e["hops"].(float64) < 1 {
+				t.Fatalf("route event = %v", e)
+			}
+		}
+	}
+}
+
+// TestAssignNoAllocsWhenUntraced pins the telemetry-off contract of the
+// hot loop: an explicit nil Tracer must follow exactly the same
+// allocation profile as the plain zero-value algorithm (no candidate
+// slices, no event payloads).
+func TestAssignNoAllocsWhenUntraced(t *testing.T) {
+	g, pins, net := traceInstance(t)
+	caps := net.BaseCapacities()
+	measure := func(a Sparcle) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, err := a.Assign(g, pins, net, caps); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	plain := measure(Sparcle{})
+	untraced := measure(Sparcle{Tracer: nil})
+	if plain != untraced {
+		t.Fatalf("nil tracer changes allocations: %v != %v", untraced, plain)
+	}
+	traced := measure(Sparcle{Tracer: obs.NewTracer(io.Discard)})
+	if traced <= plain {
+		t.Fatalf("tracing did not record anything? traced=%v plain=%v", traced, plain)
+	}
+}

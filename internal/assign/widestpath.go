@@ -24,8 +24,17 @@ import (
 // It returns the route, the bottleneck value (the minimum link weight along
 // the route, +Inf when from == to), and ok=false when to is unreachable.
 func WidestPath(net *network.Network, caps *network.Capacities, linkLoad []float64, bits float64, from, to network.NCPID) (route []network.LinkID, bottleneck float64, ok bool) {
+	route, bottleneck, _, ok = widestPathCounted(net, caps, linkLoad, bits, from, to)
+	return route, bottleneck, ok
+}
+
+// widestPathCounted is WidestPath plus the number of successful edge
+// relaxations the search performed — the telemetry layer's measure of
+// routing effort, counted unconditionally (one integer increment per
+// relaxation) and discarded by the exported wrapper.
+func widestPathCounted(net *network.Network, caps *network.Capacities, linkLoad []float64, bits float64, from, to network.NCPID) (route []network.LinkID, bottleneck float64, relaxations int, ok bool) {
 	if from == to {
-		return nil, math.Inf(1), true
+		return nil, math.Inf(1), 0, true
 	}
 	n := net.NumNCPs()
 	phi := make([]float64, n) // best bottleneck from `from` to each NCP
@@ -61,24 +70,25 @@ func WidestPath(net *network.Network, caps *network.Capacities, linkLoad []float
 				phi[u] = b
 				hops[u] = hops[v] + 1
 				prevLink[u] = l
+				relaxations++
 				heap.Push(pq, widestItem{ncp: u, phi: b, hops: hops[u]})
 			}
 		}
 	}
 	if !done[to] && math.IsInf(phi[to], -1) {
-		return nil, 0, false
+		return nil, 0, relaxations, false
 	}
 	// Reconstruct the route by walking predecessor links from `to`.
 	for v := to; v != from; {
 		l := prevLink[v]
 		if l < 0 {
-			return nil, 0, false
+			return nil, 0, relaxations, false
 		}
 		route = append(route, l)
 		v = net.Other(l, v)
 	}
 	reverseLinks(route)
-	return route, phi[to], true
+	return route, phi[to], relaxations, true
 }
 
 // linkWeight is the per-link bottleneck a TT of `bits` would see on a link

@@ -11,13 +11,16 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
+	"time"
 
 	"sparcle/internal/alloc"
 	"sparcle/internal/assign"
 	"sparcle/internal/avail"
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/taskgraph"
 )
@@ -155,6 +158,33 @@ func WithMaxMinFairness() Option {
 	return func(s *Scheduler) { s.maxMin = true }
 }
 
+// WithMetrics attaches a metrics registry: the scheduler then maintains
+// admission counters, placement and allocation latency histograms,
+// repair counters and per-app allocated-rate gauges. The default (no
+// registry) records nothing and costs nothing.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Scheduler) { s.metrics = reg }
+}
+
+// WithTracer attaches a decision-trace recorder: every ranking
+// iteration, committed route, admission verdict, repair attempt and
+// allocation solve is emitted as one JSONL event. The default (no
+// tracer) is free — hot paths are guarded by a single enabled check.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(s *Scheduler) { s.tracer = tr }
+}
+
+// WithLogger attaches a structured logger for operational events
+// (admissions, rejections, repairs, fluctuations). The default logger
+// discards everything, keeping library use silent.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Scheduler) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
 // WithoutPrediction disables the eq. (6) capacity prediction: new BE
 // applications are placed against the raw residual capacities instead of
 // their priority share. This is the ablation mode for quantifying how much
@@ -183,6 +213,14 @@ type Scheduler struct {
 	gr          []*PlacedApp
 	be          []*PlacedApp
 
+	// Telemetry sinks; all default to no-ops (see internal/obs).
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	log     *slog.Logger
+	// published names the apps currently holding a rate gauge, so
+	// withdrawn apps' series are deleted rather than left stale.
+	published map[string]Class
+
 	// scale holds the current capacity fluctuation (see ApplyFluctuation);
 	// nil means nominal capacities.
 	scale ElementScale
@@ -204,12 +242,74 @@ func New(net *network.Network, opts ...Option) *Scheduler {
 		rng:             rand.New(rand.NewSource(1)),
 		beAvailable:     net.BaseCapacities(),
 		diversityBias:   1,
+		log:             obs.NopLogger(),
+		published:       map[string]Class{},
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.failProbs = failProbs(net)
+	// Route the decision trace into the assignment algorithm when it is
+	// SPARCLE's own (baselines stay untraced; they have no tracer hook).
+	if s.tracer.Enabled() {
+		if sp, ok := s.alg.(assign.Sparcle); ok {
+			sp.Tracer = s.tracer
+			s.alg = sp
+		}
+	}
+	if s.metrics != nil {
+		s.metrics.SetHelp(metricAdmissions, "Total admission decisions by application class and outcome.")
+		s.metrics.SetHelp(metricPlacementSeconds, "Latency of admission control (Submit), seconds.")
+		s.metrics.SetHelp(metricRepairs, "Total repair attempts on guaranteed-rate applications by outcome.")
+		s.metrics.SetHelp(metricAppRate, "Current total allocated rate per admitted application, data units per second.")
+		s.metrics.SetHelp(metricAppsAdmitted, "Currently admitted applications by class.")
+		s.metrics.SetHelp(metricAllocSolves, "Total best-effort rate-allocation solves by solver.")
+		s.metrics.SetHelp(metricAllocSeconds, "Latency of best-effort rate-allocation solves, seconds.")
+		s.metrics.SetHelp(metricFluctuations, "Total capacity fluctuations applied.")
+		s.syncAppMetrics()
+	}
 	return s
+}
+
+// Metric names maintained by the scheduler.
+const (
+	metricAdmissions       = "sparcle_admissions_total"
+	metricPlacementSeconds = "sparcle_placement_seconds"
+	metricRepairs          = "sparcle_repairs_total"
+	metricAppRate          = "sparcle_app_allocated_rate"
+	metricAppsAdmitted     = "sparcle_apps_admitted"
+	metricAllocSolves      = "sparcle_alloc_solves_total"
+	metricAllocSeconds     = "sparcle_alloc_solve_seconds"
+	metricFluctuations     = "sparcle_fluctuations_total"
+)
+
+// telemetryOn reports whether any sink beyond the no-op logger is
+// attached; Submit takes the zero-overhead path when it is false.
+func (s *Scheduler) telemetryOn() bool {
+	return s.metrics != nil || s.tracer.Enabled() || s.log.Enabled(nil, slog.LevelWarn)
+}
+
+// syncAppMetrics reconciles the per-app rate gauges and per-class
+// admitted counts with the scheduler state, deleting series of
+// withdrawn applications.
+func (s *Scheduler) syncAppMetrics() {
+	if s.metrics == nil {
+		return
+	}
+	current := map[string]Class{}
+	for _, pa := range append(s.gr, s.be...) {
+		current[pa.App.Name] = pa.App.QoS.Class
+		s.metrics.Gauge(metricAppRate,
+			obs.L("app", pa.App.Name), obs.L("class", pa.App.QoS.Class.String())).Set(pa.TotalRate())
+	}
+	for name, class := range s.published {
+		if _, ok := current[name]; !ok {
+			s.metrics.DeleteSeries(metricAppRate, obs.L("app", name), obs.L("class", class.String()))
+		}
+	}
+	s.published = current
+	s.metrics.Gauge(metricAppsAdmitted, obs.L("class", GuaranteedRate.String())).Set(float64(len(s.gr)))
+	s.metrics.Gauge(metricAppsAdmitted, obs.L("class", BestEffort.String())).Set(float64(len(s.be)))
 }
 
 // failProbs collects the fallible elements of the network.
@@ -263,6 +363,47 @@ func (s *Scheduler) TotalGRRate() float64 {
 // wrapping ErrRejected when the QoE cannot be met (the scheduler state is
 // then unchanged).
 func (s *Scheduler) Submit(app App) (*PlacedApp, error) {
+	if !s.telemetryOn() {
+		return s.submit(app)
+	}
+	start := time.Now()
+	if s.tracer.Enabled() {
+		s.tracer.SetApp(app.Name)
+		defer s.tracer.SetApp("")
+	}
+	pa, err := s.submit(app)
+	elapsed := time.Since(start).Seconds()
+
+	class := app.QoS.Class.String()
+	outcome := "admitted"
+	switch {
+	case errors.Is(err, ErrRejected):
+		outcome = "rejected"
+	case err != nil:
+		outcome = "error"
+	}
+	if s.metrics != nil {
+		s.metrics.Counter(metricAdmissions, obs.L("class", class), obs.L("outcome", outcome)).Inc()
+		s.metrics.Histogram(metricPlacementSeconds, nil, obs.L("class", class)).Observe(elapsed)
+		s.syncAppMetrics()
+	}
+	ev := obs.AdmissionEvent{Class: class, Outcome: outcome, Seconds: elapsed}
+	if err != nil {
+		ev.Reason = err.Error()
+		s.log.Warn("admission refused", "app", app.Name, "class", class, "outcome", outcome, "err", err)
+	} else {
+		ev.Paths = len(pa.Paths)
+		ev.Rate = pa.TotalRate()
+		ev.Availability = pa.Availability
+		s.log.Info("application admitted", "app", app.Name, "class", class,
+			"paths", ev.Paths, "rate", ev.Rate, "availability", ev.Availability, "seconds", elapsed)
+	}
+	s.tracer.Admission(ev)
+	return pa, err
+}
+
+// submit is Submit without telemetry.
+func (s *Scheduler) submit(app App) (*PlacedApp, error) {
 	if app.Graph == nil {
 		return nil, errors.New("core: app has no task graph")
 	}
@@ -421,13 +562,33 @@ func (s *Scheduler) reallocateBE() error {
 		}
 	}
 	var (
-		x   []float64
-		err error
+		x     []float64
+		stats alloc.Stats
+		err   error
 	)
+	solver := "proportional-fair"
+	instrumented := s.metrics != nil || s.tracer.Enabled()
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+	}
 	if s.maxMin {
+		solver = "max-min"
 		x, err = alloc.SolveMaxMin(s.beAvailable, flows)
+		stats = alloc.Stats{Flows: len(flows), Converged: err == nil}
 	} else {
-		x, err = alloc.Solve(s.beAvailable, flows, s.allocOpt)
+		x, stats, err = alloc.SolveStats(s.beAvailable, flows, s.allocOpt)
+	}
+	if instrumented {
+		elapsed := time.Since(start).Seconds()
+		if s.metrics != nil {
+			s.metrics.Counter(metricAllocSolves, obs.L("solver", solver)).Inc()
+			s.metrics.Histogram(metricAllocSeconds, nil).Observe(elapsed)
+		}
+		s.tracer.Alloc(obs.AllocEvent{
+			Solver: solver, Flows: stats.Flows, Rows: stats.Rows,
+			Cycles: stats.Cycles, Converged: stats.Converged, Seconds: elapsed,
+		})
 	}
 	if err != nil {
 		return fmt.Errorf("core: best-effort rate allocation: %w", err)

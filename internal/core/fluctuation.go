@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/resource"
 )
@@ -62,6 +63,12 @@ func (s *Scheduler) ApplyFluctuation(scale ElementScale) (*FluctuationReport, er
 	for _, pa := range s.be {
 		report.BERates[pa.App.Name] = pa.TotalRate()
 	}
+	if s.metrics != nil {
+		s.metrics.Counter(metricFluctuations).Inc()
+		s.syncAppMetrics()
+	}
+	s.tracer.Fluctuation(obs.FluctuationEvent{Elements: len(scale), ViolatedGR: report.ViolatedGR})
+	s.log.Info("fluctuation applied", "elements", len(scale), "violatedGR", report.ViolatedGR)
 	return report, nil
 }
 

@@ -7,6 +7,16 @@ import "fmt"
 // pool, and the Best-Effort allocation is re-solved either way. Removing
 // an unknown name is an error.
 func (s *Scheduler) Remove(name string) error {
+	err := s.remove(name)
+	if err == nil {
+		s.log.Info("application withdrawn", "app", name)
+		s.syncAppMetrics()
+	}
+	return err
+}
+
+// remove is Remove without telemetry.
+func (s *Scheduler) remove(name string) error {
 	for i, pa := range s.gr {
 		if pa.App.Name == name {
 			s.gr = append(s.gr[:i], s.gr[i+1:]...)

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
+
+	"sparcle/internal/obs"
 )
 
 // Repair re-places a Guaranteed-Rate application whose reservation was
@@ -18,6 +21,38 @@ import (
 // ErrRejected, leaving the operator to decide between degraded service and
 // removal.
 func (s *Scheduler) Repair(name string) (*PlacedApp, error) {
+	if !s.telemetryOn() {
+		return s.repair(name)
+	}
+	start := time.Now()
+	if s.tracer.Enabled() {
+		s.tracer.SetApp(name)
+		defer s.tracer.SetApp("")
+	}
+	pa, err := s.repair(name)
+	elapsed := time.Since(start).Seconds()
+	outcome := "repaired"
+	if err != nil {
+		outcome = "failed"
+	}
+	if s.metrics != nil {
+		s.metrics.Counter(metricRepairs, obs.L("outcome", outcome)).Inc()
+		s.syncAppMetrics()
+	}
+	ev := obs.RepairEvent{Outcome: outcome, Seconds: elapsed}
+	if err != nil {
+		ev.Reason = err.Error()
+		s.log.Warn("repair failed", "app", name, "err", err)
+	} else {
+		ev.Rate = pa.TotalRate()
+		s.log.Info("application repaired", "app", name, "rate", ev.Rate, "seconds", elapsed)
+	}
+	s.tracer.Repair(ev)
+	return pa, err
+}
+
+// repair is Repair without telemetry.
+func (s *Scheduler) repair(name string) (*PlacedApp, error) {
 	idx := -1
 	for i, pa := range s.gr {
 		if pa.App.Name == name {

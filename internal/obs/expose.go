@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+)
+
+// famView is a consistent read-locked snapshot of one family's
+// structure; the series values themselves are read atomically afterward.
+type famView struct {
+	name, help string
+	typ        metricType
+	series     []*series
+}
+
+// collect snapshots the registry structure under the read lock:
+// families sorted by name, each family's series sorted by label key.
+func (r *Registry) collect() []famView {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		if f.typ == "" || len(f.series) == 0 {
+			continue // help-only family with no data yet
+		}
+		fv := famView{name: f.name, help: f.help, typ: f.typ}
+		fv.series = make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			fv.series = append(fv.series, s)
+		}
+		sort.Slice(fv.series, func(i, j int) bool { return fv.series[i].key < fv.series[j].key })
+		out = append(out, fv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label key, histograms expanded into cumulative _bucket
+// series plus _sum and _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.collect() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.typ))
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.typ {
+			case typeHistogram:
+				writeHistogram(bw, f.name, s)
+			default:
+				writeSample(bw, f.name, "", s.key, math.Float64frombits(s.bits.Load()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels,extra} value` line.
+func writeSample(bw *bufio.Writer, name, extraLabel, key string, v float64) {
+	bw.WriteString(name)
+	if key != "" || extraLabel != "" {
+		bw.WriteByte('{')
+		bw.WriteString(key)
+		if key != "" && extraLabel != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extraLabel)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram expands one histogram series into its cumulative
+// buckets, sum and count.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	cum := uint64(0)
+	for i, bound := range s.hist.buckets {
+		cum += s.hist.counts[i].Load()
+		writeSample(bw, name+"_bucket", `le="`+formatFloat(bound)+`"`, s.key, float64(cum))
+	}
+	cum += s.hist.counts[len(s.hist.buckets)].Load()
+	writeSample(bw, name+"_bucket", `le="+Inf"`, s.key, float64(cum))
+	writeSample(bw, name+"_sum", "", s.key, math.Float64frombits(s.hist.sumBits.Load()))
+	writeSample(bw, name+"_count", "", s.key, float64(s.hist.count.Load()))
+}
+
+// FamilySnapshot is the JSON view of one metric family.
+type FamilySnapshot struct {
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is the JSON view of one time series.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+	// Sum, Count and Buckets are set for histograms; Buckets maps each
+	// upper bound (rendered as a string, "+Inf" last) to its cumulative
+	// count.
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a point-in-time JSON-marshalable view of every
+// metric, keyed by family name. A nil registry returns an empty map.
+func (r *Registry) Snapshot() map[string]FamilySnapshot {
+	out := map[string]FamilySnapshot{}
+	if r == nil {
+		return out
+	}
+	for _, f := range r.collect() {
+		fs := FamilySnapshot{Type: string(f.typ), Help: f.help}
+		for _, s := range f.series {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = map[string]string{}
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			if f.typ == typeHistogram {
+				sum := math.Float64frombits(s.hist.sumBits.Load())
+				count := s.hist.count.Load()
+				ss.Sum, ss.Count = &sum, &count
+				ss.Buckets = map[string]uint64{}
+				cum := uint64(0)
+				for i, bound := range s.hist.buckets {
+					cum += s.hist.counts[i].Load()
+					ss.Buckets[formatFloat(bound)] = cum
+				}
+				cum += s.hist.counts[len(s.hist.buckets)].Load()
+				ss.Buckets["+Inf"] = cum
+			} else {
+				v := math.Float64frombits(s.bits.Load())
+				ss.Value = &v
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out[f.name] = fs
+	}
+	return out
+}
+

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NopLogger returns a logger that discards every record without
+// formatting it. It is the default logger of every SPARCLE component,
+// keeping library code silent (and cheap: Enabled is false for all
+// levels, so arguments are never evaluated into records) until the
+// caller attaches a real sink with NewLogger.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// NewLogger returns a structured text logger writing records at or
+// above level to w — the sink handed to schedulers and servers by the
+// -v flags of the commands.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// discardHandler is a slog.Handler that is disabled at every level.
+// (slog.DiscardHandler exists from Go 1.24; this keeps the module's
+// declared go 1.22 floor.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	if !tr.Enabled() {
+		t.Fatal("live tracer not enabled")
+	}
+	tr.SetApp("face")
+	tr.Ranking(RankingEvent{
+		Step: 0, CT: "detect", Host: "ncp1", Gamma: Float(math.Inf(1)),
+		Candidates: []RankingCandidate{{CT: "detect", Host: "ncp1", Gamma: 3.5}},
+	})
+	tr.Route(RouteEvent{TT: "frames", From: "cam", To: "ncp1", Hops: 2, Bottleneck: 1.25, Relaxations: 7})
+	tr.SetApp("")
+	tr.Admission(AdmissionEvent{Header: Header{App: "face"}, Class: "best-effort", Outcome: "admitted", Paths: 1, Rate: 0.4})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	events, err := ReadEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0]["type"] != "ranking" || events[0]["app"] != "face" || events[0]["seq"] != float64(1) {
+		t.Fatalf("ranking event = %+v", events[0])
+	}
+	if events[0]["gamma"] != "+Inf" {
+		t.Fatalf("infinite gamma encoded as %v", events[0]["gamma"])
+	}
+	if events[1]["type"] != "route" || events[1]["relaxations"] != float64(7) {
+		t.Fatalf("route event = %+v", events[1])
+	}
+	// An explicit Header.App wins over the (cleared) tracer context.
+	if events[2]["app"] != "face" || events[2]["outcome"] != "admitted" {
+		t.Fatalf("admission event = %+v", events[2])
+	}
+
+	// The typed event round-trips, including the Inf gamma.
+	var back RankingEvent
+	if err := json.Unmarshal([]byte(lines[0]), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(back.Gamma), 1) || back.Candidates[0].Gamma != 3.5 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.SetApp("x")
+	tr.Ranking(RankingEvent{})
+	tr.Route(RouteEvent{})
+	tr.Admission(AdmissionEvent{})
+	tr.Repair(RepairEvent{})
+	tr.Alloc(AllocEvent{})
+	tr.Fluctuation(FluctuationEvent{})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilTracerAllocs pins the disabled-path cost: stamping out events
+// on a nil tracer must not allocate (the callers guard payload
+// construction with Enabled(), and the no-op methods add nothing).
+func TestNilTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		if tr.Enabled() {
+			tr.Route(RouteEvent{TT: "x"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %v per op", allocs)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Route(RouteEvent{TT: "t", Hops: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 800 {
+		t.Fatalf("events = %d", len(events))
+	}
+	seen := map[float64]bool{}
+	for _, e := range events {
+		seq := e["seq"].(float64)
+		if seen[seq] {
+			t.Fatalf("duplicate seq %v", seq)
+		}
+		seen[seq] = true
+	}
+}
+
+func TestFloatUnmarshal(t *testing.T) {
+	var f Float
+	for in, check := range map[string]func(float64) bool{
+		`"-Inf"`: func(v float64) bool { return math.IsInf(v, -1) },
+		`"NaN"`:  func(v float64) bool { return math.IsNaN(v) },
+		`2.5`:    func(v float64) bool { return v == 2.5 },
+	} {
+		if err := json.Unmarshal([]byte(in), &f); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if !check(float64(f)) {
+			t.Fatalf("%s decoded to %v", in, float64(f))
+		}
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &f); err == nil {
+		t.Fatal("bogus float string accepted")
+	}
+}

@@ -4,7 +4,9 @@
 // repaired and withdrawn through a small JSON API, and capacity
 // fluctuations observed by monitoring can be pushed in.
 //
-//	GET    /healthz            liveness
+//	GET    /healthz            liveness, uptime and admission summary
+//	GET    /metrics            Prometheus text exposition of all metrics
+//	GET    /debug/vars         JSON snapshot of the same metrics
 //	GET    /network            the network topology and capacities
 //	GET    /apps               all admitted applications with rates
 //	POST   /apps               submit one scenario.AppSpec
@@ -21,40 +23,102 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sparcle/internal/core"
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/scenario"
 	"sparcle/internal/taskgraph"
 )
 
-// Server wraps a scheduler with a JSON HTTP API. All operations are
-// serialized; the scheduler itself is not concurrency safe.
+// Server wraps a scheduler with a JSON HTTP API. All scheduler operations
+// are serialized under mu; the scheduler itself is not concurrency safe.
+// The metrics registry has its own synchronization, so /metrics and
+// /debug/vars are served without blocking the scheduler.
 type Server struct {
-	mu    sync.Mutex
-	net   *network.Network
-	sched *core.Scheduler
+	mu       sync.Mutex
+	net      *network.Network
+	sched    *core.Scheduler
+	metrics  *obs.Registry
+	start    time.Time
+	requests atomic.Uint64
 }
 
-// New returns a Server scheduling onto net.
+// New returns a Server scheduling onto net. The server always carries a
+// metrics registry (exposed on /metrics and via Metrics); the scheduler is
+// wired to it before any caller-supplied options are applied.
 func New(net *network.Network, opts ...core.Option) *Server {
-	return &Server{net: net, sched: core.New(net, opts...)}
+	reg := obs.NewRegistry()
+	opts = append([]core.Option{core.WithMetrics(reg)}, opts...)
+	return &Server{
+		net:     net,
+		sched:   core.New(net, opts...),
+		metrics: reg,
+		start:   time.Now(),
+	}
 }
 
-// Handler returns the HTTP handler implementing the API.
+// Metrics returns the server's metrics registry, for callers that want to
+// register their own series alongside the scheduler's.
+func (s *Server) Metrics() *obs.Registry {
+	return s.metrics
+}
+
+// Handler returns the HTTP handler implementing the API. Every request is
+// counted in sparcle_http_requests_total (labeled by method) and in the
+// cumulative total reported by /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
 	mux.HandleFunc("GET /network", s.handleNetwork)
 	mux.HandleFunc("GET /apps", s.handleListApps)
 	mux.HandleFunc("POST /apps", s.handleSubmit)
 	mux.HandleFunc("DELETE /apps/{name}", s.handleRemove)
 	mux.HandleFunc("POST /apps/{name}/repair", s.handleRepair)
 	mux.HandleFunc("POST /fluctuation", s.handleFluctuation)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.metrics.Counter("sparcle_http_requests_total", obs.L("method", r.Method)).Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// healthzResponse is the body of GET /healthz.
+type healthzResponse struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	Apps          map[string]int `json:"apps"`
+	Requests      uint64         `json:"requests"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	apps := map[string]int{
+		core.GuaranteedRate.String(): len(s.sched.GRApps()),
+		core.BestEffort.String():     len(s.sched.BEApps()),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Apps:          apps,
+		Requests:      s.requests.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The registry is concurrency safe on its own: no mu here.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
 // --- responses ---

@@ -21,11 +21,14 @@
 package sparcle
 
 import (
+	"io"
+	"log/slog"
 	"math/rand"
 
 	"sparcle/internal/assign"
 	"sparcle/internal/core"
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/resource"
 	"sparcle/internal/simnet"
@@ -141,6 +144,44 @@ func WithMaxMinFairness() SchedulerOption { return core.WithMaxMinFairness() }
 // elements earlier paths use (bias in (0,1)), raising availability per
 // path at some rate cost.
 func WithDiverseMultiPath(bias float64) SchedulerOption { return core.WithDiverseMultiPath(bias) }
+
+// Observability (see internal/obs): a dependency-free metrics registry,
+// a JSONL decision tracer and structured logging, all optional and free
+// when unset.
+type (
+	// MetricsRegistry holds counters, gauges and histograms and exposes
+	// them as Prometheus text or a JSON snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name/value label on a metric series.
+	MetricLabel = obs.Label
+	// DecisionTracer streams scheduler decision events as JSON Lines.
+	DecisionTracer = obs.Tracer
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewDecisionTracer returns a tracer writing JSON Lines to w; Close it to
+// flush.
+func NewDecisionTracer(w io.Writer) *DecisionTracer { return obs.NewTracer(w) }
+
+// ReadTraceEvents decodes a JSONL decision trace into generic maps.
+func ReadTraceEvents(r io.Reader) ([]map[string]any, error) { return obs.ReadEvents(r) }
+
+// WithMetrics publishes scheduler metrics (admissions, placement latency,
+// repairs, per-app rates, allocation solves) into reg.
+func WithMetrics(reg *MetricsRegistry) SchedulerOption { return core.WithMetrics(reg) }
+
+// WithTracer streams scheduler decisions (ranking iterations, routing,
+// admissions, repairs, allocation solves) to tr.
+func WithTracer(tr *DecisionTracer) SchedulerOption { return core.WithTracer(tr) }
+
+// WithLogger attaches a structured logger to the scheduler; see
+// NewObsLogger for a ready-made stderr logger.
+func WithLogger(l *slog.Logger) SchedulerOption { return core.WithLogger(l) }
+
+// NewObsLogger returns a text slog.Logger writing to w at the given level.
+func NewObsLogger(w io.Writer, level slog.Level) *slog.Logger { return obs.NewLogger(w, level) }
 
 // DynamicRanking returns SPARCLE's task assignment algorithm (Algorithm 2)
 // for direct use outside a Scheduler.
