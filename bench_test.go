@@ -206,6 +206,34 @@ func BenchmarkAssignSparcle(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicRank measures Algorithm 2 on the large random-DAG case
+// of BENCH_assign.json (≈30 CTs over a 24-NCP mesh), serial vs the
+// GOMAXPROCS worker pool. The internal/assign benchmarks cover the rest of
+// the ablation ladder (uncached Dijkstra, map-based rate arithmetic).
+func BenchmarkDynamicRank(b *testing.B) {
+	inst, err := workload.Generate(workload.GenConfig{
+		Shape:    workload.ShapeRandom,
+		Topology: workload.TopoMesh,
+		Regime:   workload.Balanced,
+		NumNCPs:  24,
+		NumCTs:   12,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps := inst.Net.BaseCapacities()
+	run := func(b *testing.B, alg assign.Sparcle) {
+		b.ReportMetric(float64(inst.Graph.NumCTs()), "cts")
+		for i := 0; i < b.N; i++ {
+			if _, err := alg.Assign(inst.Graph, inst.Pins, inst.Net, caps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, assign.Sparcle{Parallel: 1}) })
+	b.Run("parallel", func(b *testing.B) { run(b, assign.Sparcle{}) })
+}
+
 // BenchmarkWidestPath measures Algorithm 1 on a 32-NCP mesh.
 func BenchmarkWidestPath(b *testing.B) {
 	inst := benchInstance(b, workload.ShapeLinear, workload.TopoMesh, 32)

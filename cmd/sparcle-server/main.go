@@ -59,6 +59,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	seed := fs.Int64("seed", 1, "scheduler random seed")
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	verbose := fs.Bool("v", false, "log scheduler activity to stderr")
+	parallel := fs.Int("parallel", 0, "candidate-scoring goroutines per ranking iteration (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,7 +79,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return err
 	}
 
-	opts := []core.Option{core.WithRandSeed(*seed)}
+	opts := []core.Option{core.WithRandSeed(*seed), core.WithParallelism(*parallel)}
 	if *verbose {
 		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
 	}

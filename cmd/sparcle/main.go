@@ -65,6 +65,7 @@ func run(args []string, out io.Writer) error {
 	dot := fs.String("dot", "", "write the first path of each admitted app as Graphviz DOT to this file")
 	trace := fs.String("trace", "", "write scheduler decision traces as JSON Lines to this file")
 	verbose := fs.Bool("v", false, "log scheduler activity to stderr")
+	parallel := fs.Int("parallel", 0, "candidate-scoring goroutines per ranking iteration (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,7 +97,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := []core.Option{core.WithRandSeed(*seed)}
+	opts := []core.Option{core.WithRandSeed(*seed), core.WithParallelism(*parallel)}
 	if *explain {
 		opts = append(opts, core.WithAlgorithm(explainingAlgorithm(out)))
 	}

@@ -3,12 +3,14 @@ package assign
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sparcle/internal/network"
 	"sparcle/internal/obs"
 	"sparcle/internal/placement"
-	"sparcle/internal/resource"
 	"sparcle/internal/taskgraph"
 )
 
@@ -17,6 +19,14 @@ import (
 // maximizes the new bottleneck rate γ_{i,j} (eq. (2)), and the CT actually
 // placed next is the one whose best achievable bottleneck is smallest —
 // the most constrained CT — so the ranking adapts as placement proceeds.
+//
+// Evaluation runs on a snapshot core: resource kinds are interned into
+// dense slices once per assignment (placement.EvalView), widest-path
+// bottlenecks are answered from memoized single-source trees, and the
+// candidates of each ranking iteration are scored on a bounded worker
+// pool. An ordered reduction keeps every placement, γ value, Observer
+// callback and trace event byte-identical to the serial path regardless
+// of Parallel.
 type Sparcle struct {
 	// LiteralNu makes γ consider every placed reachable CT, exactly as
 	// the paper's ν_i is written, instead of only the frontier placed CTs
@@ -24,6 +34,10 @@ type Sparcle struct {
 	// intermediate CT is placed and measurably misses optimal placements
 	// (the ablation benchmarks quantify this); it exists for comparison.
 	LiteralNu bool
+	// Parallel bounds the candidate-scoring goroutines per ranking
+	// iteration: 0 uses GOMAXPROCS, 1 forces the serial path, N > 1 uses
+	// at most N workers. Every setting produces identical output.
+	Parallel int
 	// Observer, when set, receives every placement decision as it is
 	// made, in order: pinned placements first, then the dynamic-ranking
 	// picks with their γ values. Useful for explaining why a task landed
@@ -34,6 +48,11 @@ type Sparcle struct {
 	// JSONL decision-trace events. A nil tracer is free: no event
 	// payloads are built and the hot loop performs no extra allocations.
 	Tracer *obs.Tracer
+	// Metrics, when set, maintains the evaluation-core counters (γ
+	// evaluations, widest-path cache hits/misses) and the per-iteration
+	// parallelism gauge. A nil registry is free: the hot loop increments
+	// nil no-op metrics and allocates nothing extra.
+	Metrics *obs.Registry
 }
 
 // Decision is one step of the dynamic-ranking placement, reported through
@@ -58,13 +77,39 @@ var _ placement.Algorithm = Sparcle{}
 // Name implements placement.Algorithm.
 func (Sparcle) Name() string { return "SPARCLE" }
 
+// Metric names maintained by the assignment evaluation core.
+const (
+	// metricGammaEvals counts γ evaluations (eq. (2) candidate scorings).
+	metricGammaEvals = "sparcle_assign_gamma_evals_total"
+	// metricWidestHits / metricWidestMisses count widest-path tree cache
+	// lookups served from memory vs computed.
+	metricWidestHits   = "sparcle_assign_widest_cache_hits_total"
+	metricWidestMisses = "sparcle_assign_widest_cache_misses_total"
+	// metricParallelism reports the scoring workers of the most recent
+	// ranking iteration.
+	metricParallelism = "sparcle_assign_parallelism"
+)
+
+// DescribeMetrics sets the help texts of the evaluation-core metrics on
+// reg (nil-safe). The scheduler calls it once at construction.
+func DescribeMetrics(reg *obs.Registry) {
+	reg.SetHelp(metricGammaEvals, "Total gamma (eq. 2) candidate evaluations performed by the assignment engine.")
+	reg.SetHelp(metricWidestHits, "Total widest-path tree cache lookups served from the per-iteration memo.")
+	reg.SetHelp(metricWidestMisses, "Total widest-path tree cache lookups that computed a new single-source tree.")
+	reg.SetHelp(metricParallelism, "Candidate-scoring workers used by the most recent ranking iteration.")
+}
+
 // Assign implements placement.Algorithm.
 func (a Sparcle) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*placement.Placement, error) {
-	st, err := newStateTraced(g, pins, net, caps, a.Tracer)
+	st, err := newStateCfg(g, pins, net, caps, stateConfig{
+		tracer:    a.Tracer,
+		metrics:   a.Metrics,
+		parallel:  a.Parallel,
+		literalNu: a.LiteralNu,
+	})
 	if err != nil {
 		return nil, err
 	}
-	st.literalNu = a.LiteralNu
 	for i, ct := range st.placed {
 		host := st.p.Host(ct)
 		if a.Observer != nil {
@@ -158,7 +203,23 @@ func (o Ordered) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Ne
 	return st.p, nil
 }
 
-// state carries the in-progress placement shared by the greedy algorithms.
+// stateConfig bundles the optional knobs of the greedy state.
+type stateConfig struct {
+	tracer    *obs.Tracer
+	metrics   *obs.Registry
+	parallel  int
+	literalNu bool
+	// noCache disables the widest-path tree memo (ablation benchmarks
+	// only; production always caches).
+	noCache bool
+}
+
+// state is the mutation layer of the assignment engine: it owns the
+// in-progress placement shared by the greedy algorithms and advances the
+// immutable-between-iterations evaluation snapshot (view) plus the
+// widest-path tree cache as CTs commit. All scoring reads go through view
+// and cache; all writes happen in place(), strictly between scoring
+// phases.
 type state struct {
 	g    *taskgraph.Graph
 	net  *network.Network
@@ -167,7 +228,19 @@ type state struct {
 
 	unplaced map[taskgraph.CTID]bool
 	placed   []taskgraph.CTID // in placement order
-	linkLoad []float64        // mirrors p's link loads for WidestPath
+
+	// view is the dense evaluation snapshot (residual capacities, loads,
+	// hosts); cache memoizes single-source widest-path trees against it.
+	view  *placement.EvalView
+	cache *widestCache
+	// changedLinks is scratch for collecting the links a place() loads,
+	// reused across placements.
+	changedLinks []network.LinkID
+
+	// parallel is the resolved scoring-worker bound (>= 1).
+	parallel int
+	// noCache bypasses the tree memo (ablation benchmarks).
+	noCache bool
 
 	// literalNu switches gamma to the paper-literal ν_i (every placed
 	// reachable CT) instead of the frontier restriction.
@@ -175,13 +248,17 @@ type state struct {
 	// tracer records ranking iterations and committed routes; nil (the
 	// common case) disables all event construction.
 	tracer *obs.Tracer
+
+	// Evaluation-core metrics; nil no-ops when no registry is attached.
+	mGamma *obs.Counter
+	mPar   *obs.Gauge
 }
 
 func newState(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities) (*state, error) {
-	return newStateTraced(g, pins, net, caps, nil)
+	return newStateCfg(g, pins, net, caps, stateConfig{})
 }
 
-func newStateTraced(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities, tracer *obs.Tracer) (*state, error) {
+func newStateCfg(g *taskgraph.Graph, pins placement.Pins, net *network.Network, caps *network.Capacities, cfg stateConfig) (*state, error) {
 	for _, src := range g.Sources() {
 		if _, ok := pins[src]; !ok {
 			return nil, fmt.Errorf("assign: source CT %q (%d) has no pinned host", g.CT(src).Name, src)
@@ -192,15 +269,28 @@ func newStateTraced(g *taskgraph.Graph, pins placement.Pins, net *network.Networ
 			return nil, fmt.Errorf("assign: sink CT %q (%d) has no pinned host", g.CT(snk).Name, snk)
 		}
 	}
-	st := &state{
-		g:        g,
-		net:      net,
-		caps:     caps,
-		p:        placement.New(g, net),
-		unplaced: make(map[taskgraph.CTID]bool, g.NumCTs()),
-		linkLoad: make([]float64, net.NumLinks()),
-		tracer:   tracer,
+	view := placement.NewEvalView(g, net, caps)
+	parallel := cfg.parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
 	}
+	st := &state{
+		g:         g,
+		net:       net,
+		caps:      caps,
+		p:         placement.New(g, net),
+		unplaced:  make(map[taskgraph.CTID]bool, g.NumCTs()),
+		view:      view,
+		cache:     newWidestCache(net, caps, view.LoadLink),
+		parallel:  parallel,
+		noCache:   cfg.noCache,
+		literalNu: cfg.literalNu,
+		tracer:    cfg.tracer,
+		mGamma:    cfg.metrics.Counter(metricGammaEvals),
+		mPar:      cfg.metrics.Gauge(metricParallelism),
+	}
+	st.cache.hits = cfg.metrics.Counter(metricWidestHits)
+	st.cache.misses = cfg.metrics.Counter(metricWidestMisses)
 	for ct := 0; ct < g.NumCTs(); ct++ {
 		st.unplaced[taskgraph.CTID(ct)] = true
 	}
@@ -220,13 +310,17 @@ func newStateTraced(g *taskgraph.Graph, pins placement.Pins, net *network.Networ
 }
 
 // place commits CT ct to host and routes every TT between ct and an
-// already-placed neighbor on the widest path given the loads placed so far.
+// already-placed neighbor on the widest path given the loads placed so
+// far. It is the mutation layer: the placement, the evaluation view and
+// the widest-path cache all advance here, and nowhere else.
 func (st *state) place(ct taskgraph.CTID, host network.NCPID) error {
 	if err := st.p.PlaceCT(ct, host); err != nil {
 		return err
 	}
 	delete(st.unplaced, ct)
 	st.placed = append(st.placed, ct)
+	st.view.ApplyCT(ct, host)
+	st.changedLinks = st.changedLinks[:0]
 	for _, ttID := range st.g.AdjacentTTs(ct) {
 		tt := st.g.TT(ttID)
 		other := tt.From
@@ -237,7 +331,7 @@ func (st *state) place(ct taskgraph.CTID, host network.NCPID) error {
 		if oHost < 0 {
 			continue
 		}
-		route, bottleneck, relaxations, ok := widestPathCounted(st.net, st.caps, st.linkLoad, tt.Bits, st.p.Host(tt.From), st.p.Host(tt.To))
+		route, bottleneck, relaxations, ok := widestPathCounted(st.net, st.caps, st.view.LoadLink, tt.Bits, st.p.Host(tt.From), st.p.Host(tt.To))
 		if !ok {
 			return fmt.Errorf("assign: no route for TT %q between NCPs %d and %d: %w",
 				tt.Name, st.p.Host(tt.From), st.p.Host(tt.To), placement.ErrInfeasible)
@@ -253,10 +347,14 @@ func (st *state) place(ct taskgraph.CTID, host network.NCPID) error {
 		if err := st.p.PlaceTT(ttID, route); err != nil {
 			return err
 		}
-		for _, l := range route {
-			st.linkLoad[l] += tt.Bits
+		if tt.Bits > 0 {
+			st.changedLinks = append(st.changedLinks, route...)
 		}
+		st.view.ApplyTT(route, tt.Bits)
 	}
+	// Loading a link only shrinks its weight, so only trees whose edges
+	// include a loaded link can change (see widestCache.invalidate).
+	st.cache.invalidate(st.changedLinks)
 	return nil
 }
 
@@ -275,19 +373,57 @@ func (st *state) place(ct taskgraph.CTID, host network.NCPID) error {
 // denoise, between them, is already placed elsewhere). For pairs with a
 // placed intermediary the paper's justification ("at least one TT of
 // G(i,i′) will be placed on the path between j and j′") no longer holds.
+//
+// gamma only reads the evaluation view and the tree cache, so any number
+// of scorers may run it concurrently between mutations.
 func (st *state) gamma(ct taskgraph.CTID, host network.NCPID) (rate float64, feasible bool) {
-	rate = rateWith(st.caps.NCP[host], st.p.NCPLoad(host), st.g.CT(ct).Req)
+	return st.gammaTerms(ct, host, st.linkTerms(ct))
+}
+
+// linkTerm is one link contribution to γ for a CT: a placed counterpart
+// (at oHost) and the bits of the lightest TT between them. The terms of a
+// CT are host-independent, so bestHost computes them once and reuses them
+// across the whole NCP scan.
+type linkTerm struct {
+	oHost network.NCPID
+	bits  float64
+}
+
+// linkTerms collects the γ link terms of ct against the current view.
+func (st *state) linkTerms(ct taskgraph.CTID) []linkTerm {
+	var terms []linkTerm
 	for _, other := range st.nu(ct) {
 		ttID, ok := st.g.MinBitsTTBetween(ct, other)
 		if !ok {
 			continue
 		}
-		oHost := st.p.Host(other)
-		if oHost == host {
+		terms = append(terms, linkTerm{oHost: st.view.Host[other], bits: st.g.TT(ttID).Bits})
+	}
+	return terms
+}
+
+// gammaTerms is gamma with the host-independent link terms precomputed.
+func (st *state) gammaTerms(ct taskgraph.CTID, host network.NCPID, terms []linkTerm) (rate float64, feasible bool) {
+	st.mGamma.Inc()
+	rate = st.view.RateWith(host, st.view.Req[ct])
+	for _, term := range terms {
+		if term.oHost == host {
 			continue
 		}
-		_, bottleneck, ok := WidestPath(st.net, st.caps, st.linkLoad, st.g.TT(ttID).Bits, host, oHost)
-		if !ok {
+		var (
+			bottleneck float64
+			reachable  bool
+		)
+		if st.noCache {
+			_, bottleneck, reachable = WidestPath(st.net, st.caps, st.view.LoadLink, term.bits, host, term.oHost)
+		} else {
+			// The tree is rooted at the *placed* end: the network is
+			// undirected, so phi is symmetric, and one tree then serves
+			// every candidate host of the scan (and every CT sharing this
+			// frontier term) instead of one tree per candidate.
+			bottleneck, reachable = st.cache.tree(term.oHost, term.bits).bottleneck(host)
+		}
+		if !reachable {
 			return 0, false
 		}
 		if bottleneck < rate {
@@ -317,7 +453,7 @@ func (st *state) nu(ct taskgraph.CTID) []taskgraph.CTID {
 // ancestors separately and stopping at the first placed CT on each branch.
 func (st *state) frontierPlaced(ct taskgraph.CTID) []taskgraph.CTID {
 	var out []taskgraph.CTID
-	seen := make(map[taskgraph.CTID]bool)
+	seen := make([]bool, st.g.NumCTs())
 	var walk func(cur taskgraph.CTID, down bool)
 	walk = func(cur taskgraph.CTID, down bool) {
 		tts := st.g.OutTTs(cur)
@@ -334,7 +470,7 @@ func (st *state) frontierPlaced(ct taskgraph.CTID) []taskgraph.CTID {
 				continue
 			}
 			seen[next] = true
-			if st.p.Host(next) >= 0 {
+			if st.view.Host[next] >= 0 {
 				out = append(out, next)
 				continue
 			}
@@ -345,7 +481,9 @@ func (st *state) frontierPlaced(ct taskgraph.CTID) []taskgraph.CTID {
 	// Reset the visited set between directions: in a DAG the descendant
 	// and ancestor cones are disjoint apart from ct itself, but TT-level
 	// revisits within a cone are possible.
-	seen = make(map[taskgraph.CTID]bool)
+	for i := range seen {
+		seen[i] = false
+	}
 	walk(ct, false)
 	return out
 }
@@ -353,10 +491,11 @@ func (st *state) frontierPlaced(ct taskgraph.CTID) []taskgraph.CTID {
 // bestHost returns j*_i = argmax_j γ_{i,j} for CT i, the γ value achieved,
 // and whether any feasible host exists. Ties break toward the lower NCP id.
 func (st *state) bestHost(ct taskgraph.CTID) (network.NCPID, float64, bool) {
+	terms := st.linkTerms(ct)
 	best := network.NCPID(-1)
 	bestRate := math.Inf(-1)
 	for j := 0; j < st.net.NumNCPs(); j++ {
-		rate, ok := st.gamma(ct, network.NCPID(j))
+		rate, ok := st.gammaTerms(ct, network.NCPID(j), terms)
 		if !ok {
 			continue
 		}
@@ -379,7 +518,7 @@ func (st *state) bestHostNCPOnly(ct taskgraph.CTID) (network.NCPID, bool) {
 	best := network.NCPID(-1)
 	bestRate := math.Inf(-1)
 	for j := 0; j < st.net.NumNCPs(); j++ {
-		rate := rateWith(st.caps.NCP[j], st.p.NCPLoad(network.NCPID(j)), st.g.CT(ct).Req)
+		rate := st.view.RateWith(network.NCPID(j), st.view.Req[ct])
 		if rate > bestRate {
 			bestRate = rate
 			best = network.NCPID(j)
@@ -388,77 +527,98 @@ func (st *state) bestHostNCPOnly(ct taskgraph.CTID) (network.NCPID, bool) {
 	return best, best >= 0
 }
 
+// scored is one CT's best-host result within a ranking iteration.
+type scored struct {
+	host     network.NCPID
+	rate     float64
+	feasible bool
+}
+
+// scoreAll fills results[i] with bestHost(cts[i]) using up to st.parallel
+// workers pulling indices from a shared counter. Workers only read the
+// evaluation view and share the synchronized tree cache; results are
+// index-addressed, so the fill order cannot influence anything
+// downstream. It returns the worker count used (for the gauge).
+func (st *state) scoreAll(cts []taskgraph.CTID, results []scored) int {
+	workers := st.parallel
+	if workers > len(cts) {
+		workers = len(cts)
+	}
+	if workers <= 1 {
+		for i, ct := range cts {
+			host, rate, feasible := st.bestHost(ct)
+			results[i] = scored{host: host, rate: rate, feasible: feasible}
+		}
+		return 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cts) {
+					return
+				}
+				host, rate, feasible := st.bestHost(cts[i])
+				results[i] = scored{host: host, rate: rate, feasible: feasible}
+			}
+		}()
+	}
+	wg.Wait()
+	return workers
+}
+
 // dynamicRankNext implements Algorithm 2 lines 6-16: every unplaced CT is
 // scored by the bottleneck it would impose at its best host, and the CT
 // with the smallest such bottleneck — the most constrained one — is placed
-// first at that host. It returns the chosen CT, its host and its γ,
-// plus — only when the tracer is enabled, so the hot path allocates
+// first at that host. Scoring fans out over the worker pool; the reduction
+// then walks the results in ascending CT id, which reproduces the serial
+// loop's tie-breaking (and therefore its placements, γ values, Observer
+// order and trace events) exactly. It returns the chosen CT, its host and
+// its γ, plus — only when the tracer is enabled, so the hot path allocates
 // nothing — the best-host score of every candidate CT in the iteration.
 func (st *state) dynamicRankNext() (taskgraph.CTID, network.NCPID, float64, []obs.RankingCandidate, error) {
-	bestCT := taskgraph.CTID(-1)
-	bestHost := network.NCPID(-1)
-	bestRate := math.Inf(1)
-	var candidates []obs.RankingCandidate
-	if st.tracer.Enabled() {
-		candidates = make([]obs.RankingCandidate, 0, len(st.unplaced))
-	}
 	cts := make([]taskgraph.CTID, 0, len(st.unplaced))
 	for ct := range st.unplaced {
 		cts = append(cts, ct)
 	}
 	sort.Slice(cts, func(i, j int) bool { return cts[i] < cts[j] })
-	for _, ct := range cts {
-		host, rate, feasible := st.bestHost(ct)
-		if !feasible {
+
+	results := make([]scored, len(cts))
+	st.mPar.Set(float64(st.scoreAll(cts, results)))
+
+	bestCT := taskgraph.CTID(-1)
+	bestHost := network.NCPID(-1)
+	bestRate := math.Inf(1)
+	var candidates []obs.RankingCandidate
+	if st.tracer.Enabled() {
+		candidates = make([]obs.RankingCandidate, 0, len(cts))
+	}
+	for i, ct := range cts {
+		r := results[i]
+		if !r.feasible {
 			return -1, -1, 0, nil, fmt.Errorf("assign: CT %q (%d): %w", st.g.CT(ct).Name, ct, placement.ErrInfeasible)
 		}
 		if candidates != nil {
 			candidates = append(candidates, obs.RankingCandidate{
-				CT: st.g.CT(ct).Name, Host: st.net.NCP(host).Name, Gamma: obs.Float(rate),
+				CT: st.g.CT(ct).Name, Host: st.net.NCP(r.host).Name, Gamma: obs.Float(r.rate),
 			})
 		}
-		if rate < bestRate {
-			bestRate = rate
+		if r.rate < bestRate {
+			bestRate = r.rate
 			bestCT = ct
-			bestHost = host
+			bestHost = r.host
 		}
 	}
 	if bestCT < 0 {
 		// Every remaining CT scored +Inf (no demands anywhere): place the
-		// lowest-id one at its best host.
+		// lowest-id one at the best host its scan already found — no
+		// re-evaluation needed.
 		bestCT = cts[0]
-		h, _, feasible := st.bestHost(bestCT)
-		if !feasible {
-			return -1, -1, 0, nil, fmt.Errorf("assign: CT %d: %w", bestCT, placement.ErrInfeasible)
-		}
-		bestHost = h
+		bestHost = results[0].host
 	}
 	return bestCT, bestHost, bestRate, candidates, nil
-}
-
-// rateWith returns min over resource kinds of cap[k] / (base[k]+extra[k]),
-// ignoring kinds with no demand: the service rate NCP capacity `cap` offers
-// to the combined load of already co-located tasks (base) plus a candidate
-// requirement (extra). Equivalent to resource.DivMin without allocating the
-// combined vector.
-func rateWith(cap, base, extra resource.Vector) float64 {
-	rate := math.Inf(1)
-	consider := func(k resource.Kind) {
-		demand := base[k] + extra[k]
-		if demand <= 0 {
-			return
-		}
-		if r := cap[k] / demand; r < rate {
-			rate = r
-		}
-	}
-	for k := range base {
-		consider(k)
-	}
-	for k := range extra {
-		if _, seen := base[k]; !seen {
-			consider(k)
-		}
-	}
-	return rate
 }

@@ -1,0 +1,158 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+	"sparcle/internal/workload"
+)
+
+// benchLarge is the large random-DAG case the evaluation-core speedup is
+// measured on (see BENCH_assign.json): ~30 CTs over a 24-NCP mesh.
+func benchLarge(b *testing.B) *workload.Instance {
+	b.Helper()
+	inst, err := workload.Generate(workload.GenConfig{
+		Shape:    workload.ShapeRandom,
+		Topology: workload.TopoMesh,
+		Regime:   workload.Balanced,
+		NumNCPs:  24,
+		NumCTs:   12,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkDynamicRank measures the full Algorithm 2 assignment on the
+// large case across the evaluation-core ablation ladder: the memo-less
+// per-pair Dijkstra (uncached), the cached serial path, and the cached
+// path with the worker pool at GOMAXPROCS.
+func BenchmarkDynamicRank(b *testing.B) {
+	inst := benchLarge(b)
+	caps := inst.Net.BaseCapacities()
+	run := func(b *testing.B, cfg stateConfig) {
+		for i := 0; i < b.N; i++ {
+			st, err := newStateCfg(inst.Graph, inst.Pins, inst.Net, caps, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for len(st.unplaced) > 0 {
+				ct, host, _, _, err := st.dynamicRankNext()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.place(ct, host); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, stateConfig{parallel: 1, noCache: true}) })
+	b.Run("serial", func(b *testing.B) { run(b, stateConfig{parallel: 1}) })
+	b.Run("parallel", func(b *testing.B) { run(b, stateConfig{}) })
+}
+
+// BenchmarkGamma measures one ranking iteration's worth of γ evaluations
+// (every unplaced CT against every NCP) right after the pinned placements,
+// with and without the widest-path tree memo.
+func BenchmarkGamma(b *testing.B) {
+	inst := benchLarge(b)
+	caps := inst.Net.BaseCapacities()
+	run := func(b *testing.B, cfg stateConfig) {
+		st, err := newStateCfg(inst.Graph, inst.Pins, inst.Net, caps, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts := make([]taskgraph.CTID, 0, len(st.unplaced))
+		for ct := range st.unplaced {
+			cts = append(cts, ct)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ct := range cts {
+				for j := 0; j < st.net.NumNCPs(); j++ {
+					st.gamma(ct, network.NCPID(j))
+				}
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, stateConfig{noCache: true}) })
+	b.Run("cached", func(b *testing.B) { run(b, stateConfig{}) })
+}
+
+// rateWithMap is the map-based NCP-rate arithmetic the dense evaluation
+// core replaced, retained verbatim as the dense-vs-map ablation reference.
+func rateWithMap(cap, base, extra resource.Vector) float64 {
+	rate := math.Inf(1)
+	consider := func(k resource.Kind) {
+		demand := base[k] + extra[k]
+		if demand <= 0 {
+			return
+		}
+		if r := cap[k] / demand; r < rate {
+			rate = r
+		}
+	}
+	for k := range base {
+		consider(k)
+	}
+	for k := range extra {
+		if _, seen := base[k]; !seen {
+			consider(k)
+		}
+	}
+	return rate
+}
+
+// BenchmarkRateWith compares the dense NCP-rate arithmetic against the
+// map-based form it replaced, on a representative 4-kind vector.
+func BenchmarkRateWith(b *testing.B) {
+	capV := resource.Vector{resource.CPU: 100, resource.Memory: 64, "gpu": 2, "disk": 500}
+	baseV := resource.Vector{resource.CPU: 30, resource.Memory: 16, "gpu": 1}
+	extraV := resource.Vector{resource.CPU: 5, resource.Memory: 2, "disk": 20}
+	in := resource.NewInterner()
+	in.InternVector(capV)
+	in.InternVector(baseV)
+	in.InternVector(extraV)
+	capD, baseD, extraD := in.Dense(capV), in.Dense(baseV), in.Dense(extraV)
+	if math.Float64bits(resource.RateDense(capD, baseD, extraD)) != math.Float64bits(rateWithMap(capV, baseV, extraV)) {
+		b.Fatal("dense and map rates disagree")
+	}
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rateWithMap(capV, baseV, extraV)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resource.RateDense(capD, baseD, extraD)
+		}
+	})
+}
+
+// BenchmarkWidestTree compares one full single-source tree build against
+// the per-pair searches it amortizes (source to every other NCP).
+func BenchmarkWidestTree(b *testing.B) {
+	inst := benchLarge(b)
+	caps := inst.Net.BaseCapacities()
+	loads := make([]float64, inst.Net.NumLinks())
+	b.Run("per-pair-all-targets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for v := 1; v < inst.Net.NumNCPs(); v++ {
+				if _, _, ok := WidestPath(inst.Net, caps, loads, 10, 0, network.NCPID(v)); !ok {
+					b.Fatal("unreachable")
+				}
+			}
+		}
+	})
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			newWidestTree(inst.Net, caps, loads, 10, 0)
+		}
+	})
+}

@@ -1,10 +1,13 @@
 package assign
 
 import (
+	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/resource"
 	"sparcle/internal/taskgraph"
@@ -180,6 +183,129 @@ func TestPropertyFrontierSubsetOfReachable(t *testing.T) {
 			st.literalNu = false
 			if len(frontier) > len(literal) {
 				t.Fatalf("frontier (%d) larger than literal ν (%d)", len(frontier), len(literal))
+			}
+		}
+	}
+}
+
+// TestPropertyParallelIdentical: the parallel candidate scorer is an
+// implementation detail — for every worker bound the placements, γ
+// sequences, Observer decisions and decision-trace bytes are identical to
+// the serial path. This is the determinism contract of the ordered
+// reduction (and of the widest-path cache, which serial and parallel runs
+// exercise very differently).
+func TestPropertyParallelIdentical(t *testing.T) {
+	type run struct {
+		hosts     []network.NCPID
+		routes    [][]network.LinkID
+		decisions []Decision
+		trace     []byte
+	}
+	runOnce := func(t *testing.T, g *taskgraph.Graph, pins placement.Pins, net *network.Network, parallel int) run {
+		t.Helper()
+		var r run
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf)
+		alg := Sparcle{
+			Parallel: parallel,
+			Tracer:   tr,
+			Metrics:  obs.NewRegistry(),
+			Observer: func(d Decision) { r.decisions = append(r.decisions, d) },
+		}
+		p, err := alg.Assign(g, pins, net, net.BaseCapacities())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r.trace = buf.Bytes()
+		for ct := 0; ct < g.NumCTs(); ct++ {
+			r.hosts = append(r.hosts, p.Host(taskgraph.CTID(ct)))
+		}
+		for tt := 0; tt < g.NumTTs(); tt++ {
+			route, _ := p.Route(taskgraph.TTID(tt))
+			r.routes = append(r.routes, route)
+		}
+		return r
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		g, pins, net := randomInstance(t, rng)
+		serial := runOnce(t, g, pins, net, 1)
+		for _, n := range []int{2, 8} {
+			par := runOnce(t, g, pins, net, n)
+			for ct, h := range serial.hosts {
+				if par.hosts[ct] != h {
+					t.Fatalf("trial %d, parallel=%d: CT %d host %d != serial %d", trial, n, ct, par.hosts[ct], h)
+				}
+			}
+			for tt, route := range serial.routes {
+				if len(par.routes[tt]) != len(route) {
+					t.Fatalf("trial %d, parallel=%d: TT %d route differs", trial, n, tt)
+				}
+				for i := range route {
+					if par.routes[tt][i] != route[i] {
+						t.Fatalf("trial %d, parallel=%d: TT %d route differs at hop %d", trial, n, tt, i)
+					}
+				}
+			}
+			if len(par.decisions) != len(serial.decisions) {
+				t.Fatalf("trial %d, parallel=%d: %d decisions != serial %d", trial, n, len(par.decisions), len(serial.decisions))
+			}
+			for i, d := range serial.decisions {
+				pd := par.decisions[i]
+				// γ equality is bit-exact, not approximate: the parallel
+				// scorer must perform the identical float operations.
+				if pd.CT != d.CT || pd.Host != d.Host || pd.Pinned != d.Pinned ||
+					math.Float64bits(pd.Gamma) != math.Float64bits(d.Gamma) {
+					t.Fatalf("trial %d, parallel=%d: decision %d = %+v != serial %+v", trial, n, i, pd, d)
+				}
+			}
+			if !bytes.Equal(par.trace, serial.trace) {
+				t.Fatalf("trial %d, parallel=%d: trace bytes differ\nserial:\n%s\nparallel:\n%s", trial, n, serial.trace, par.trace)
+			}
+		}
+	}
+}
+
+// TestPropertyCacheIdentical: the widest-path tree memo never changes a
+// result — a cache-disabled run (every bottleneck from a fresh per-pair
+// search) places identically, γ for γ.
+func TestPropertyCacheIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 25; trial++ {
+		g, pins, net := randomInstance(t, rng)
+		caps := net.BaseCapacities()
+		var cached, fresh []Decision
+		if _, err := (Sparcle{Observer: func(d Decision) { cached = append(cached, d) }}).Assign(g, pins, net, caps); err != nil {
+			t.Fatal(err)
+		}
+		st, err := newStateCfg(g, pins, net, caps, stateConfig{noCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ct := range st.placed {
+			fresh = append(fresh, Decision{Step: i, CT: ct, Host: st.p.Host(ct), Pinned: true})
+		}
+		for len(st.unplaced) > 0 {
+			ct, host, gamma, _, err := st.dynamicRankNext()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh = append(fresh, Decision{Step: len(st.placed), CT: ct, Host: host, Gamma: gamma})
+			if err := st.place(ct, host); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(cached) != len(fresh) {
+			t.Fatalf("trial %d: %d cached decisions != %d fresh", trial, len(cached), len(fresh))
+		}
+		for i, d := range fresh {
+			cd := cached[i]
+			if cd.CT != d.CT || cd.Host != d.Host || cd.Pinned != d.Pinned ||
+				math.Float64bits(cd.Gamma) != math.Float64bits(d.Gamma) {
+				t.Fatalf("trial %d: decision %d cached %+v != fresh %+v", trial, i, cd, d)
 			}
 		}
 	}

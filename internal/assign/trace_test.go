@@ -86,13 +86,16 @@ func TestAssignTraceEvents(t *testing.T) {
 }
 
 // TestAssignNoAllocsWhenUntraced pins the telemetry-off contract of the
-// hot loop: an explicit nil Tracer must follow exactly the same
-// allocation profile as the plain zero-value algorithm (no candidate
-// slices, no event payloads).
+// hot loop: an explicit nil Tracer and a nil Metrics registry must follow
+// exactly the same allocation profile as the plain zero-value algorithm
+// (no candidate slices, no event payloads, no metric series). Parallel is
+// pinned to 1 so worker-goroutine bookkeeping does not blur the
+// comparison on multi-core machines.
 func TestAssignNoAllocsWhenUntraced(t *testing.T) {
 	g, pins, net := traceInstance(t)
 	caps := net.BaseCapacities()
 	measure := func(a Sparcle) float64 {
+		a.Parallel = 1
 		return testing.AllocsPerRun(50, func() {
 			if _, err := a.Assign(g, pins, net, caps); err != nil {
 				t.Fatal(err)
@@ -104,8 +107,40 @@ func TestAssignNoAllocsWhenUntraced(t *testing.T) {
 	if plain != untraced {
 		t.Fatalf("nil tracer changes allocations: %v != %v", untraced, plain)
 	}
+	unmetered := measure(Sparcle{Metrics: nil})
+	if plain != unmetered {
+		t.Fatalf("nil metrics registry changes allocations: %v != %v", unmetered, plain)
+	}
 	traced := measure(Sparcle{Tracer: obs.NewTracer(io.Discard)})
 	if traced <= plain {
 		t.Fatalf("tracing did not record anything? traced=%v plain=%v", traced, plain)
+	}
+}
+
+// TestAssignMetrics checks the evaluation-core series: γ evaluations,
+// widest-path cache hit/miss counts and the parallelism gauge all appear
+// with plausible values when a registry is attached.
+func TestAssignMetrics(t *testing.T) {
+	g, pins, net := traceInstance(t)
+	reg := obs.NewRegistry()
+	if _, err := (Sparcle{Metrics: reg, Parallel: 1}).Assign(g, pins, net, net.BaseCapacities()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	value := func(name string) float64 {
+		fam, ok := snap[name]
+		if !ok || len(fam.Series) != 1 || fam.Series[0].Value == nil {
+			t.Fatalf("metric %s missing from snapshot", name)
+		}
+		return *fam.Series[0].Value
+	}
+	if v := value(metricGammaEvals); v <= 0 {
+		t.Fatalf("gamma evals = %v", v)
+	}
+	if v := value(metricWidestMisses); v <= 0 {
+		t.Fatalf("widest cache misses = %v", v)
+	}
+	if v := value(metricParallelism); v != 1 {
+		t.Fatalf("parallelism gauge = %v", v)
 	}
 }

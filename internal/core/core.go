@@ -185,6 +185,15 @@ func WithLogger(l *slog.Logger) Option {
 	}
 }
 
+// WithParallelism bounds the candidate-scoring workers of SPARCLE's
+// dynamic-ranking iterations: 0 (the default) uses GOMAXPROCS, 1 forces
+// the serial path, n > 1 uses at most n goroutines. Placements, γ values
+// and trace output are identical at every setting; only wall-clock
+// changes. Ignored when WithAlgorithm selects a non-SPARCLE algorithm.
+func WithParallelism(n int) Option {
+	return func(s *Scheduler) { s.parallel = n }
+}
+
 // WithoutPrediction disables the eq. (6) capacity prediction: new BE
 // applications are placed against the raw residual capacities instead of
 // their priority share. This is the ablation mode for quantifying how much
@@ -230,6 +239,8 @@ type Scheduler struct {
 	maxMin bool
 	// diversityBias < 1 steers later paths away from used elements.
 	diversityBias float64
+	// parallel bounds SPARCLE's candidate-scoring workers (0 = GOMAXPROCS).
+	parallel int
 }
 
 // New returns a Scheduler over net.
@@ -249,15 +260,18 @@ func New(net *network.Network, opts ...Option) *Scheduler {
 		opt(s)
 	}
 	s.failProbs = failProbs(net)
-	// Route the decision trace into the assignment algorithm when it is
-	// SPARCLE's own (baselines stay untraced; they have no tracer hook).
-	if s.tracer.Enabled() {
-		if sp, ok := s.alg.(assign.Sparcle); ok {
+	// Route telemetry and the parallelism bound into the assignment
+	// algorithm when it is SPARCLE's own (baselines have no such hooks).
+	if sp, ok := s.alg.(assign.Sparcle); ok {
+		if s.tracer.Enabled() {
 			sp.Tracer = s.tracer
-			s.alg = sp
 		}
+		sp.Metrics = s.metrics
+		sp.Parallel = s.parallel
+		s.alg = sp
 	}
 	if s.metrics != nil {
+		assign.DescribeMetrics(s.metrics)
 		s.metrics.SetHelp(metricAdmissions, "Total admission decisions by application class and outcome.")
 		s.metrics.SetHelp(metricPlacementSeconds, "Latency of admission control (Submit), seconds.")
 		s.metrics.SetHelp(metricRepairs, "Total repair attempts on guaranteed-rate applications by outcome.")

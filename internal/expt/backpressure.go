@@ -3,7 +3,6 @@ package expt
 import (
 	"fmt"
 
-	"sparcle/internal/assign"
 	"sparcle/internal/simnet"
 	"sparcle/internal/workload"
 )
@@ -45,7 +44,7 @@ func Backpressure(cfg Config) (*BackpressureResult, error) {
 			return nil, err
 		}
 		caps := net.BaseCapacities()
-		p, err := (assign.Sparcle{}).Assign(g, pins, net, caps)
+		p, err := cfg.sparcle().Assign(g, pins, net, caps)
 		if err != nil {
 			return nil, err
 		}

@@ -37,7 +37,7 @@ const (
 // adding a second path does, and the aggregate processing rate grows too.
 func Fig10a(cfg Config) (*Fig10aResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	paths, err := fig10Paths(rng, func(paths []placement.Path, fp avail.FailProbs) (bool, error) {
+	paths, err := fig10Paths(cfg, rng, func(paths []placement.Path, fp avail.FailProbs) (bool, error) {
 		if len(paths) < 2 {
 			return false, nil
 		}
@@ -110,7 +110,7 @@ type Fig10bResult struct {
 func Fig10b(cfg Config) (*Fig10bResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var minRate float64
-	paths, err := fig10Paths(rng, func(paths []placement.Path, fp avail.FailProbs) (bool, error) {
+	paths, err := fig10Paths(cfg, rng, func(paths []placement.Path, fp avail.FailProbs) (bool, error) {
 		if len(paths) < 3 {
 			return false, nil
 		}
@@ -175,7 +175,7 @@ func (r *Fig10bResult) Table() *Table {
 // fig10Paths draws star-network instances until the predicate accepts the
 // multi-path decomposition (up to a bounded number of attempts, falling
 // back to the last instance so the experiment always reports something).
-func fig10Paths(rng *rand.Rand, accept func([]placement.Path, avail.FailProbs) (bool, error)) ([]placement.Path, error) {
+func fig10Paths(cfg Config, rng *rand.Rand, accept func([]placement.Path, avail.FailProbs) (bool, error)) ([]placement.Path, error) {
 	var last []placement.Path
 	for attempt := 0; attempt < 200; attempt++ {
 		inst, err := workload.Generate(workload.GenConfig{
@@ -187,7 +187,7 @@ func fig10Paths(rng *rand.Rand, accept func([]placement.Path, avail.FailProbs) (
 		if err != nil {
 			return nil, err
 		}
-		paths, _, err := assign.MultiPath(assign.Sparcle{}, inst.Graph, inst.Pins, inst.Net, inst.Net.BaseCapacities(), 3)
+		paths, _, err := assign.MultiPath(cfg.sparcle(), inst.Graph, inst.Pins, inst.Net, inst.Net.BaseCapacities(), 3)
 		if err != nil {
 			continue
 		}

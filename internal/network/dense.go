@@ -1,0 +1,25 @@
+package network
+
+import "sparcle/internal/resource"
+
+// InternKinds interns every capacity kind of the network's NCPs, in NCP id
+// order with each NCP's kinds sorted, so identical networks always produce
+// identical dense indices. Evaluation cores call this once at snapshot
+// build time, before densifying capacities and requirements.
+func (n *Network) InternKinds(in *resource.Interner) {
+	for _, ncp := range n.ncps {
+		in.InternVector(ncp.Capacity)
+	}
+}
+
+// DenseNCP projects the residual NCP capacities onto the interner's
+// universe: out[v][i] is NCP v's residual amount of kind in.KindAt(i).
+// The result is an independent snapshot; later mutations of c are not
+// reflected.
+func (c *Capacities) DenseNCP(in *resource.Interner) []resource.Dense {
+	out := make([]resource.Dense, len(c.NCP))
+	for v, vec := range c.NCP {
+		out[v] = in.Dense(vec)
+	}
+	return out
+}

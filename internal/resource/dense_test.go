@@ -1,0 +1,151 @@
+package resource
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInternerBasics(t *testing.T) {
+	in := NewInterner()
+	if in.Len() != 0 {
+		t.Fatalf("empty interner Len = %d", in.Len())
+	}
+	i := in.Intern(CPU)
+	if j := in.Intern(CPU); j != i {
+		t.Fatalf("re-interning CPU: %d != %d", j, i)
+	}
+	j := in.Intern(Memory)
+	if i == j {
+		t.Fatal("distinct kinds share an index")
+	}
+	if in.KindAt(i) != CPU || in.KindAt(j) != Memory {
+		t.Fatal("KindAt mismatch")
+	}
+	if got, ok := in.Index(Memory); !ok || got != j {
+		t.Fatalf("Index(Memory) = %d, %v", got, ok)
+	}
+	if _, ok := in.Index(Bandwidth); ok {
+		t.Fatal("uninterned kind found")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+}
+
+func TestInternVectorDeterministicOrder(t *testing.T) {
+	// Kinds are interned in sorted order regardless of map iteration.
+	for trial := 0; trial < 20; trial++ {
+		in := NewInterner()
+		in.InternVector(Vector{"zz": 1, "aa": 2, "mm": 3, "skip": 0})
+		if in.Len() != 3 {
+			t.Fatalf("Len = %d", in.Len())
+		}
+		if in.KindAt(0) != "aa" || in.KindAt(1) != "mm" || in.KindAt(2) != "zz" {
+			t.Fatalf("order: %v %v %v", in.KindAt(0), in.KindAt(1), in.KindAt(2))
+		}
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	in := NewInterner()
+	v := Vector{CPU: 3, Memory: 0.5}
+	in.InternVector(v)
+	d := in.Dense(v)
+	if len(d) != 2 {
+		t.Fatalf("len = %d", len(d))
+	}
+	if !d.Vector(in).Equal(v) {
+		t.Fatalf("round trip: %v", d.Vector(in))
+	}
+	// Uninterned kinds are dropped on projection.
+	d2 := in.Dense(Vector{CPU: 1, "gpu": 9})
+	if !d2.Vector(in).Equal(Vector{CPU: 1}) {
+		t.Fatalf("projection kept uninterned kind: %v", d2.Vector(in))
+	}
+}
+
+func TestDenseArithmetic(t *testing.T) {
+	d := Dense{1, 2, 3}
+	d.Add(Dense{1, 1, 1})
+	d.AddScaled(Dense{2, 0, 2}, 0.5)
+	want := Dense{3, 3, 5}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("d = %v", d)
+		}
+	}
+	if d.IsZero() || !(Dense{0, 0}).IsZero() {
+		t.Fatal("IsZero")
+	}
+	c := d.Clone()
+	c[0] = 99
+	if d[0] == 99 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+// rateWithMaps is the map-based reference: min over kinds of
+// cap/(base+extra), demand-positive kinds only.
+func rateWithMaps(cap, base, extra Vector) float64 {
+	rate := math.Inf(1)
+	consider := func(k Kind) {
+		demand := base[k] + extra[k]
+		if demand <= 0 {
+			return
+		}
+		if r := cap[k] / demand; r < rate {
+			rate = r
+		}
+	}
+	for k := range base {
+		consider(k)
+	}
+	for k := range extra {
+		if _, seen := base[k]; !seen {
+			consider(k)
+		}
+	}
+	return rate
+}
+
+func TestRateDenseMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	kinds := []Kind{CPU, Memory, Bandwidth, "gpu", "disk"}
+	randVec := func() Vector {
+		v := Vector{}
+		for _, k := range kinds {
+			switch rng.Intn(3) {
+			case 0:
+				v[k] = rng.Float64() * 10
+			case 1:
+				v[k] = 0
+			}
+		}
+		return v
+	}
+	for trial := 0; trial < 500; trial++ {
+		capV, base, extra := randVec(), randVec(), randVec()
+		in := NewInterner()
+		in.InternVector(base)
+		in.InternVector(extra)
+		got := RateDense(in.Dense(capV), in.Dense(base), in.Dense(extra))
+		want := rateWithMaps(capV, base, extra)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: dense %v != map %v", trial, got, want)
+		}
+	}
+}
+
+func TestRateDenseMixedLengths(t *testing.T) {
+	// The zero-padded slow path: shorter vectors act as zeros.
+	if got := RateDense(Dense{10}, Dense{2, 5}, nil); got != 0 {
+		t.Fatalf("missing capacity should yield 0, got %v", got)
+	}
+	if got := RateDense(Dense{10, 20}, Dense{2}, Dense{0, 4}); got != 5 {
+		t.Fatalf("got %v, want 5", got)
+	}
+	if got := RateDense(nil, nil, nil); !math.IsInf(got, 1) {
+		t.Fatalf("no demand should be +Inf, got %v", got)
+	}
+}

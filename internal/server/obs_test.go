@@ -58,6 +58,11 @@ func TestMetricsEndToEnd(t *testing.T) {
 		`sparcle_app_allocated_rate{app="b",class="best-effort"}`,
 		`# TYPE sparcle_placement_seconds histogram`,
 		`sparcle_http_requests_total{method="POST"}`,
+		// Evaluation-core series from the assignment engine.
+		`sparcle_assign_gamma_evals_total`,
+		`sparcle_assign_widest_cache_hits_total`,
+		`sparcle_assign_widest_cache_misses_total`,
+		`sparcle_assign_parallelism`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
