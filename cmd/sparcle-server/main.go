@@ -60,6 +60,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	verbose := fs.Bool("v", false, "log scheduler activity to stderr")
 	parallel := fs.Int("parallel", 0, "candidate-scoring goroutines per ranking iteration (0 = GOMAXPROCS, 1 = serial)")
+	coldAlloc := fs.Bool("cold-alloc", false, "disable warm-started incremental BE solves (ablation; identical results)")
+	noDeltaCaps := fs.Bool("no-delta-caps", false, "disable delta BE capacity accounting (ablation; identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +82,12 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 
 	opts := []core.Option{core.WithRandSeed(*seed), core.WithParallelism(*parallel)}
+	if *coldAlloc {
+		opts = append(opts, core.WithColdAllocation())
+	}
+	if *noDeltaCaps {
+		opts = append(opts, core.WithoutDeltaCapacities())
+	}
 	if *verbose {
 		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
 	}

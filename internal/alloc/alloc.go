@@ -25,12 +25,10 @@ package alloc
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"sparcle/internal/network"
 	"sparcle/internal/placement"
-	"sparcle/internal/resource"
 )
 
 // Flow is one task-assignment path participating in the allocation, with
@@ -69,11 +67,17 @@ type Stats struct {
 	// Flows and Rows are the problem dimensions: flow count and binding
 	// capacity constraints.
 	Flows, Rows int
+	// NNZ is the number of live constraint-matrix entries visited per
+	// descent sweep (the sparse solve cost).
+	NNZ int
 	// Cycles is the number of full coordinate-descent passes performed.
 	Cycles int
 	// Converged reports whether the descent met the tolerance before
 	// exhausting its cycle budget.
 	Converged bool
+	// Warm reports whether the run started from the previous solve's dual
+	// prices instead of cold initialization.
+	Warm bool
 }
 
 // Solve returns the weighted proportional-fair rates of the flows under
@@ -86,142 +90,26 @@ func Solve(caps *network.Capacities, flows []Flow, opt Options) ([]float64, erro
 
 // SolveStats is Solve plus solver statistics (problem size, descent
 // cycles, convergence) for instrumentation; the stats cost nothing to
-// collect.
+// collect. It is a thin cold wrapper over a throwaway Solver: the
+// constraint rows are built sparse (CSR) from each flow's loaded elements
+// and discarded after one dual descent. Callers on a churn path should
+// hold a Solver instead and reuse its rows and prices across calls.
 func SolveStats(caps *network.Capacities, flows []Flow, opt Options) ([]float64, Stats, error) {
-	stats := Stats{Flows: len(flows)}
-	opt = opt.withDefaults()
 	if len(flows) == 0 {
-		return nil, stats, ErrNoFlows
+		return nil, Stats{}, ErrNoFlows
 	}
-	for i, f := range flows {
-		if f.Weight <= 0 || math.IsNaN(f.Weight) {
-			return nil, stats, fmt.Errorf("alloc: flow %d has invalid weight %v", i, f.Weight)
-		}
+	s := NewSolver(caps, opt)
+	ids, err := s.AddFlows(flows)
+	if err != nil {
+		return nil, Stats{Flows: len(flows)}, err
 	}
-	rows, boundable, err := buildRows(caps, flows)
+	rates, stats, err := s.Solve(nil)
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.Rows = len(rows)
 	x := make([]float64, len(flows))
-	// Flows forced to zero by a zero-capacity element stay zero; the rest
-	// are optimized.
-	active := make([]bool, len(flows))
-	for f := range flows {
-		active[f] = boundable[f]
-	}
-	if len(rows) == 0 {
-		return nil, stats, errors.New("alloc: no capacity constraints bind any flow")
-	}
-
-	// denom[f] tracks Σ_j λ_j R_{jf} for every active flow, maintained
-	// incrementally as prices move.
-	prices := make([]float64, len(rows))
-	denom := make([]float64, len(flows))
-	for j, r := range rows {
-		// Start every price at the single-constraint optimum scale so the
-		// initial denominators are positive wherever demand exists.
-		wSum := 0.0
-		for f, coef := range r.coef {
-			if coef > 0 && active[f] {
-				wSum += flows[f].Weight
-			}
-		}
-		prices[j] = wSum / r.cap
-		for f, coef := range r.coef {
-			denom[f] += prices[j] * coef
-		}
-	}
-
-	// demandAt computes row j's demand when its price is lambda, holding
-	// every other price fixed.
-	demandAt := func(j int, lambda float64) float64 {
-		r := rows[j]
-		demand := 0.0
-		for f, coef := range r.coef {
-			if coef <= 0 || !active[f] {
-				continue
-			}
-			d := denom[f] - prices[j]*coef + lambda*coef
-			if d <= 0 {
-				return math.Inf(1)
-			}
-			demand += coef * flows[f].Weight / d
-		}
-		return demand
-	}
-
-	for cycle := 0; cycle < opt.Cycles; cycle++ {
-		stats.Cycles = cycle + 1
-		maxRel := 0.0
-		for j, r := range rows {
-			var newPrice float64
-			if demandAt(j, 0) <= r.cap {
-				newPrice = 0 // constraint slack: complementary slackness
-			} else {
-				lo, hi := 0.0, math.Max(prices[j], 1e-12)
-				for demandAt(j, hi) > r.cap {
-					hi *= 2
-					if math.IsInf(hi, 1) {
-						return nil, stats, errors.New("alloc: dual price diverged")
-					}
-				}
-				for k := 0; k < 100; k++ {
-					mid := (lo + hi) / 2
-					if demandAt(j, mid) > r.cap {
-						lo = mid
-					} else {
-						hi = mid
-					}
-				}
-				newPrice = hi
-			}
-			delta := newPrice - prices[j]
-			if delta != 0 {
-				rel := math.Abs(delta) / math.Max(newPrice, prices[j])
-				if rel > maxRel {
-					maxRel = rel
-				}
-				for f, coef := range r.coef {
-					denom[f] += delta * coef
-				}
-				prices[j] = newPrice
-			}
-		}
-		if maxRel < opt.Tolerance {
-			stats.Converged = true
-			break
-		}
-	}
-
-	for f := range flows {
-		if !active[f] {
-			x[f] = 0
-			continue
-		}
-		if denom[f] <= 0 {
-			return nil, stats, fmt.Errorf("alloc: flow %d has zero congestion price (unbounded)", f)
-		}
-		x[f] = flows[f].Weight / denom[f]
-	}
-	// Absorb residual floating-point slack: uniform scaling by the worst
-	// relative violation keeps the result exactly feasible.
-	scale := 1.0
-	for _, r := range rows {
-		demand := 0.0
-		for f, coef := range r.coef {
-			demand += coef * x[f]
-		}
-		if demand > r.cap {
-			if s := r.cap / demand; s < scale {
-				scale = s
-			}
-		}
-	}
-	if scale < 1 {
-		for f := range x {
-			x[f] *= scale
-		}
+	for i, id := range ids {
+		x[i] = rates[id]
 	}
 	return x, stats, nil
 }
@@ -235,84 +123,4 @@ func Utility(flows []Flow, x []float64) float64 {
 		u += flow.Weight * math.Log(x[f])
 	}
 	return u
-}
-
-type row struct {
-	cap  float64
-	coef []float64
-}
-
-// buildRows creates one constraint row per network element (and resource
-// kind) loaded by at least one flow. boundable[f] reports whether flow f
-// can receive a positive rate (false when it loads a zero-capacity
-// element).
-func buildRows(caps *network.Capacities, flows []Flow) (rows []row, boundable []bool, err error) {
-	boundable = make([]bool, len(flows))
-	hasLoad := make([]bool, len(flows))
-	for f := range boundable {
-		boundable[f] = true
-	}
-	// NCP rows per resource kind.
-	for v := range caps.NCP {
-		kinds := map[resource.Kind]bool{}
-		for f := range flows {
-			for k, a := range flows[f].Path.NCPLoad(network.NCPID(v)) {
-				if a > 0 {
-					kinds[k] = true
-				}
-			}
-		}
-		for k := range kinds {
-			r := row{cap: caps.NCP[v].Get(k), coef: make([]float64, len(flows))}
-			any := false
-			for f := range flows {
-				a := flows[f].Path.NCPLoad(network.NCPID(v)).Get(k)
-				r.coef[f] = a
-				if a > 0 {
-					any = true
-					hasLoad[f] = true
-					if r.cap <= 0 {
-						boundable[f] = false
-					}
-				}
-			}
-			if any && r.cap > 0 {
-				rows = append(rows, r)
-			}
-		}
-	}
-	// Link rows.
-	for l := range caps.Link {
-		r := row{cap: caps.Link[l], coef: make([]float64, len(flows))}
-		any := false
-		for f := range flows {
-			bits := flows[f].Path.LinkLoad(network.LinkID(l))
-			r.coef[f] = bits
-			if bits > 0 {
-				any = true
-				hasLoad[f] = true
-				if r.cap <= 0 {
-					boundable[f] = false
-				}
-			}
-		}
-		if any && r.cap > 0 {
-			rows = append(rows, r)
-		}
-	}
-	for f := range flows {
-		if !hasLoad[f] {
-			return nil, nil, fmt.Errorf("alloc: flow %d has no resource demand (unbounded rate)", f)
-		}
-	}
-	// Rows binding only zero-rate flows are irrelevant; rows mixing them
-	// with live flows keep the zero coefficient contribution (0*x = 0).
-	for f, ok := range boundable {
-		if !ok {
-			for j := range rows {
-				rows[j].coef[f] = 0
-			}
-		}
-	}
-	return rows, boundable, nil
 }

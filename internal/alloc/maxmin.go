@@ -21,6 +21,55 @@ import (
 // cost of total utility. The scheduler exposes it through the
 // WithMaxMinFairness option; the fairness-policy ablation benchmark
 // quantifies the trade.
+// row is a dense constraint row used by the progressive-filling loop,
+// which sweeps every (row, flow) pair anyway and so gains nothing from
+// sparsity.
+type row struct {
+	cap  float64
+	coef []float64
+}
+
+// buildRows materializes one dense constraint row per positive-capacity
+// element (and resource kind) loaded by at least one flow, built by
+// visiting each flow's loaded elements once. boundable[f] reports whether
+// flow f can receive a positive rate (false when it loads a zero-capacity
+// element); unboundable flows have their coefficients zeroed so they
+// contribute nothing downstream.
+func buildRows(caps *network.Capacities, flows []Flow) ([]row, []bool, error) {
+	s := NewSolver(caps, Options{})
+	if _, err := s.AddFlows(flows); err != nil {
+		return nil, nil, err
+	}
+	// Flow slot i is flow i for a freshly built solver.
+	boundable := make([]bool, len(flows))
+	for i := range boundable {
+		boundable[i] = true
+	}
+	for j := range s.rows {
+		if s.capOf(s.rows[j].key) <= 0 {
+			for _, slot := range s.rows[j].fidx {
+				boundable[slot] = false
+			}
+		}
+	}
+	var rows []row
+	for j := range s.rows {
+		r := &s.rows[j]
+		c := s.capOf(r.key)
+		if c <= 0 {
+			continue
+		}
+		d := row{cap: c, coef: make([]float64, len(flows))}
+		for p, slot := range r.fidx {
+			if boundable[slot] {
+				d.coef[slot] = r.coef[p]
+			}
+		}
+		rows = append(rows, d)
+	}
+	return rows, boundable, nil
+}
+
 func SolveMaxMin(caps *network.Capacities, flows []Flow) ([]float64, error) {
 	if len(flows) == 0 {
 		return nil, ErrNoFlows

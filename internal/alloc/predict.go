@@ -24,16 +24,11 @@ func FootprintOf(priority float64, paths []placement.Path) Footprint {
 		Links:    map[network.LinkID]bool{},
 	}
 	for _, path := range paths {
-		net := path.P.Net
-		for v := 0; v < net.NumNCPs(); v++ {
-			if !path.P.NCPLoad(network.NCPID(v)).IsZero() {
-				fp.NCPs[network.NCPID(v)] = true
-			}
+		for _, v := range path.P.LoadedNCPs() {
+			fp.NCPs[v] = true
 		}
-		for l := 0; l < net.NumLinks(); l++ {
-			if path.P.LinkLoad(network.LinkID(l)) > 0 {
-				fp.Links[network.LinkID(l)] = true
-			}
+		for _, l := range path.P.LoadedLinks() {
+			fp.Links[l] = true
 		}
 	}
 	return fp
@@ -46,27 +41,26 @@ func FootprintOf(priority float64, paths []placement.Path) Footprint {
 // is not mutated.
 func Predict(caps *network.Capacities, placed []Footprint, priority float64) *network.Capacities {
 	out := caps.Clone()
-	for v := range out.NCP {
-		share := shareFor(placed, priority, func(fp Footprint) bool { return fp.NCPs[network.NCPID(v)] })
-		if share < 1 {
-			scaleVector(out.NCP[v], share)
+	// Accumulate the placed priority per element from the footprints
+	// (O(sum of footprint sizes)) rather than scanning every footprint for
+	// every element of the network.
+	ncpTotal := make(map[network.NCPID]float64)
+	linkTotal := make(map[network.LinkID]float64)
+	for _, fp := range placed {
+		for v := range fp.NCPs {
+			ncpTotal[v] += fp.Priority
+		}
+		for l := range fp.Links {
+			linkTotal[l] += fp.Priority
 		}
 	}
-	for l := range out.Link {
-		share := shareFor(placed, priority, func(fp Footprint) bool { return fp.Links[network.LinkID(l)] })
-		out.Link[l] *= share
+	for v, total := range ncpTotal {
+		scaleVector(out.NCP[v], priority/(priority+total))
+	}
+	for l, total := range linkTotal {
+		out.Link[l] *= priority / (priority + total)
 	}
 	return out
-}
-
-func shareFor(placed []Footprint, priority float64, uses func(Footprint) bool) float64 {
-	total := priority
-	for _, fp := range placed {
-		if uses(fp) {
-			total += fp.Priority
-		}
-	}
-	return priority / total
 }
 
 func scaleVector(v resource.Vector, s float64) {

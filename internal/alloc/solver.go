@@ -1,0 +1,567 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+)
+
+// FlowID is a stable handle for a flow held by a Solver across incremental
+// updates. IDs are never reused within one Solver.
+type FlowID int64
+
+// rowKey identifies one capacity constraint: an NCP resource kind or a
+// link. elem is the NCP id for NCP rows and numNCPs+linkID for link rows;
+// kind is empty for link rows.
+type rowKey struct {
+	elem int
+	kind resource.Kind
+}
+
+// csrRow is one constraint row in compressed sparse form: only the flows
+// that actually load the element appear. Removed flows leave -1 tombstones
+// in fidx until the next compaction; the dual price survives both removals
+// and compaction, which is what makes re-solves warm.
+type csrRow struct {
+	key   rowKey
+	fidx  []int32 // flow slots; -1 = tombstoned entry
+	coef  []float64
+	dead  int32
+	price float64 // dual price; NaN = never priced
+}
+
+func (r *csrRow) liveNNZ() int { return len(r.fidx) - int(r.dead) }
+
+// rowRef locates one matrix entry from the flow side so RemoveFlows can
+// tombstone a flow's column in O(path length).
+type rowRef struct{ row, pos int32 }
+
+type sflow struct {
+	id     FlowID
+	weight float64
+	path   *placement.Placement
+	refs   []rowRef
+	alive  bool
+}
+
+// Solver solves SPARCLE's proportional-fair problem (4) incrementally: it
+// keeps the sparse constraint matrix, dual prices and per-flow
+// denominators between calls so that after a small change (one app
+// admitted or removed, capacities nudged) the next Solve warm-starts the
+// dual descent from the previous prices and converges in a couple of
+// cycles instead of a full cold run.
+//
+// Capacities are read lazily at Solve time through the pointer given to
+// NewSolver/SetCapacities, so callers that mutate the capacity vectors in
+// place (delta accounting) never have to notify the Solver. Warm results
+// match a cold Solve over the same flows within the solver tolerance.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	opt     Options
+	caps    *network.Capacities
+	numNCPs int
+
+	flows []sflow
+	free  []int32
+	byID  map[FlowID]int32
+	next  FlowID
+	live  int
+
+	rows     []csrRow
+	rowIndex map[rowKey]int32
+	nnzLive  int
+	nnzDead  int
+
+	solved bool // a prior Solve left usable prices behind
+
+	// scratch reused across solves, sized to len(flows)/len(rows)
+	denom, x  []float64
+	active    []bool
+	rowCap    []float64
+	rowActive []bool
+	kindBuf   []resource.Kind
+}
+
+// NewSolver returns an empty incremental solver over the given capacities.
+func NewSolver(caps *network.Capacities, opt Options) *Solver {
+	return &Solver{
+		opt:      opt.withDefaults(),
+		caps:     caps,
+		numNCPs:  len(caps.NCP),
+		byID:     map[FlowID]int32{},
+		rowIndex: map[rowKey]int32{},
+	}
+}
+
+// SetCapacities swaps the capacity vectors the Solver reads at Solve time.
+// Prices are kept: after a small capacity change the previous prices are
+// still an excellent starting point.
+func (s *Solver) SetCapacities(caps *network.Capacities) {
+	s.caps = caps
+	s.numNCPs = len(caps.NCP)
+}
+
+// Len returns the number of live flows held by the Solver.
+func (s *Solver) Len() int { return s.live }
+
+// NNZ returns the number of live constraint-matrix entries.
+func (s *Solver) NNZ() int { return s.nnzLive }
+
+// AddFlows validates and inserts the given flows, returning one stable id
+// per flow. On error nothing is inserted; error messages index into the
+// argument slice.
+func (s *Solver) AddFlows(flows []Flow) ([]FlowID, error) {
+	for i, f := range flows {
+		if f.Weight <= 0 || math.IsNaN(f.Weight) {
+			return nil, fmt.Errorf("alloc: flow %d has invalid weight %v", i, f.Weight)
+		}
+	}
+	for i, f := range flows {
+		if !s.hasDemand(f.Path) {
+			return nil, fmt.Errorf("alloc: flow %d has no resource demand (unbounded rate)", i)
+		}
+	}
+	ids := make([]FlowID, len(flows))
+	for i, f := range flows {
+		ids[i] = s.insert(f)
+	}
+	return ids, nil
+}
+
+func (s *Solver) hasDemand(p *placement.Placement) bool {
+	for _, v := range p.LoadedNCPs() {
+		for _, a := range p.NCPLoad(v) {
+			if a > 0 {
+				return true
+			}
+		}
+	}
+	return len(p.LoadedLinks()) > 0
+}
+
+func (s *Solver) insert(f Flow) FlowID {
+	id := s.next
+	s.next++
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.flows[slot] = sflow{id: id, weight: f.Weight, path: f.Path, refs: s.flows[slot].refs[:0], alive: true}
+	} else {
+		slot = int32(len(s.flows))
+		s.flows = append(s.flows, sflow{id: id, weight: f.Weight, path: f.Path, alive: true})
+	}
+	s.byID[id] = slot
+	s.live++
+	p := f.Path
+	for _, v := range p.LoadedNCPs() {
+		load := p.NCPLoad(v)
+		s.kindBuf = s.kindBuf[:0]
+		for k, a := range load {
+			if a > 0 {
+				s.kindBuf = append(s.kindBuf, k)
+			}
+		}
+		if len(s.kindBuf) > 1 {
+			sort.Slice(s.kindBuf, func(i, j int) bool { return s.kindBuf[i] < s.kindBuf[j] })
+		}
+		for _, k := range s.kindBuf {
+			s.addEntry(rowKey{elem: int(v), kind: k}, slot, load[k])
+		}
+	}
+	for _, l := range p.LoadedLinks() {
+		s.addEntry(rowKey{elem: s.numNCPs + int(l)}, slot, p.LinkLoad(l))
+	}
+	return id
+}
+
+func (s *Solver) addEntry(key rowKey, slot int32, coef float64) {
+	j, ok := s.rowIndex[key]
+	if !ok {
+		j = int32(len(s.rows))
+		s.rows = append(s.rows, csrRow{key: key, price: math.NaN()})
+		s.rowIndex[key] = j
+	}
+	r := &s.rows[j]
+	s.flows[slot].refs = append(s.flows[slot].refs, rowRef{row: j, pos: int32(len(r.fidx))})
+	r.fidx = append(r.fidx, slot)
+	r.coef = append(r.coef, coef)
+	s.nnzLive++
+}
+
+// RemoveFlows detaches the given flows. Unknown ids are ignored. Rows keep
+// their prices; tombstoned entries are compacted away once they outnumber
+// the live ones.
+func (s *Solver) RemoveFlows(ids []FlowID) {
+	for _, id := range ids {
+		slot, ok := s.byID[id]
+		if !ok {
+			continue
+		}
+		delete(s.byID, id)
+		f := &s.flows[slot]
+		for _, ref := range f.refs {
+			r := &s.rows[ref.row]
+			r.fidx[ref.pos] = -1
+			r.dead++
+		}
+		s.nnzLive -= len(f.refs)
+		s.nnzDead += len(f.refs)
+		f.refs = f.refs[:0]
+		f.alive = false
+		f.path = nil
+		s.free = append(s.free, slot)
+		s.live--
+	}
+	if s.nnzDead > s.nnzLive {
+		s.compact()
+	}
+}
+
+// compact rewrites the rows without tombstones and drops empty rows,
+// preserving each surviving row's price so the solver stays warm.
+func (s *Solver) compact() {
+	kept := s.rows[:0]
+	for j := range s.rows {
+		r := s.rows[j]
+		if r.liveNNZ() == 0 {
+			delete(s.rowIndex, r.key)
+			continue
+		}
+		if r.dead > 0 {
+			w := 0
+			for p, slot := range r.fidx {
+				if slot >= 0 {
+					r.fidx[w] = slot
+					r.coef[w] = r.coef[p]
+					w++
+				}
+			}
+			r.fidx = r.fidx[:w]
+			r.coef = r.coef[:w]
+			r.dead = 0
+		}
+		s.rowIndex[r.key] = int32(len(kept))
+		kept = append(kept, r)
+	}
+	s.rows = kept
+	s.nnzDead = 0
+	// Row indices and positions moved: rebuild every live flow's refs.
+	for i := range s.flows {
+		s.flows[i].refs = s.flows[i].refs[:0]
+	}
+	for j := range s.rows {
+		r := &s.rows[j]
+		for p, slot := range r.fidx {
+			s.flows[slot].refs = append(s.flows[slot].refs, rowRef{row: int32(j), pos: int32(p)})
+		}
+	}
+}
+
+// Solve runs the dual descent over the current flows and capacities and
+// returns the proportional-fair rate of every live flow keyed by id. If
+// dst is non-nil it is cleared and reused. The returned Stats report
+// whether the run was warm-started and the live constraint-matrix size.
+func (s *Solver) Solve(dst map[FlowID]float64) (map[FlowID]float64, Stats, error) {
+	stats := Stats{Flows: s.live, Warm: s.solved}
+	if s.live == 0 {
+		return nil, stats, ErrNoFlows
+	}
+	n := len(s.flows)
+	s.denom = resize(s.denom, n)
+	s.x = resize(s.x, n)
+	s.active = resizeBool(s.active, n)
+	s.rowCap = resize(s.rowCap, len(s.rows))
+	s.rowActive = resizeBool(s.rowActive, len(s.rows))
+	active, denom, x := s.active, s.denom, s.x
+	for i := range s.flows {
+		active[i] = s.flows[i].alive
+	}
+	// Pass 1: read capacities; zero-capacity elements force their flows'
+	// rates to zero (they cannot be bounded away from it).
+	for j := range s.rows {
+		r := &s.rows[j]
+		if r.liveNNZ() == 0 {
+			s.rowActive[j] = false
+			continue
+		}
+		c := s.capOf(r.key)
+		s.rowCap[j] = c
+		if c <= 0 {
+			s.rowActive[j] = false
+			for _, slot := range r.fidx {
+				if slot >= 0 {
+					active[slot] = false
+				}
+			}
+			continue
+		}
+		s.rowActive[j] = true
+	}
+	// Pass 2: a row binding only zeroed flows stays in the row count but
+	// needs no price. When no positive-capacity row is loaded at all the
+	// problem is vacuous.
+	nnz := 0
+	for j := range s.rows {
+		if !s.rowActive[j] {
+			continue
+		}
+		r := &s.rows[j]
+		stats.Rows++
+		any := false
+		for _, slot := range r.fidx {
+			if slot >= 0 && active[slot] {
+				any = true
+				nnz++
+			}
+		}
+		if !any {
+			s.rowActive[j] = false
+		}
+	}
+	stats.NNZ = nnz
+	if stats.Rows == 0 {
+		return nil, stats, errors.New("alloc: no capacity constraints bind any flow")
+	}
+
+	// demandAt computes row j's demand when its price is lambda, holding
+	// every other price fixed.
+	demandAt := func(j int, lambda float64) float64 {
+		r := &s.rows[j]
+		demand := 0.0
+		for p, slot := range r.fidx {
+			if slot < 0 || !active[slot] {
+				continue
+			}
+			coef := r.coef[p]
+			d := denom[slot] - r.price*coef + lambda*coef
+			if d <= 0 {
+				return math.Inf(1)
+			}
+			demand += coef * s.flows[slot].weight / d
+		}
+		return demand
+	}
+
+	// descend (re)initializes never-priced rows at the single-constraint
+	// optimum scale — previously priced rows keep their price, which is the
+	// warm start — rebuilds the denominators in O(nnz), and runs the cyclic
+	// coordinate descent until the tolerance or cycle budget is hit.
+	descend := func() error {
+		for j := range s.rows {
+			if !s.rowActive[j] {
+				continue
+			}
+			r := &s.rows[j]
+			if !math.IsNaN(r.price) {
+				continue
+			}
+			wSum := 0.0
+			for p, slot := range r.fidx {
+				if slot >= 0 && active[slot] && r.coef[p] > 0 {
+					wSum += s.flows[slot].weight
+				}
+			}
+			r.price = wSum / s.rowCap[j]
+		}
+		// denom[f] = Σ_j λ_j R_{jf}, maintained incrementally as prices
+		// move.
+		for i := range denom {
+			denom[i] = 0
+		}
+		for j := range s.rows {
+			if !s.rowActive[j] {
+				continue
+			}
+			r := &s.rows[j]
+			for p, slot := range r.fidx {
+				if slot >= 0 && active[slot] {
+					denom[slot] += r.price * r.coef[p]
+				}
+			}
+		}
+
+		// The bisection stops once the bracket is relatively tighter than a
+		// fraction of the convergence tolerance; the fixed iteration cap is
+		// a safety net, not the usual exit.
+		bisectTol := s.opt.Tolerance * 0.01
+		for cycle := 0; cycle < s.opt.Cycles; cycle++ {
+			stats.Cycles++
+			maxRel := 0.0
+			for j := range s.rows {
+				if !s.rowActive[j] {
+					continue
+				}
+				r := &s.rows[j]
+				cap := s.rowCap[j]
+				var newPrice float64
+				// Test the current price first: if its demand already
+				// matches capacity the row is at its root (demand is
+				// strictly decreasing in the price) and the whole search is
+				// skipped — the common case on warm re-solves. When demand
+				// exceeds capacity the root lies above the current price
+				// and the slack test at zero is redundant.
+				var lo, hi float64
+				bracketed := false
+				if r.price > 0 {
+					d := demandAt(j, r.price)
+					if math.Abs(d-cap) <= cap*s.opt.Tolerance {
+						continue
+					}
+					if d > cap {
+						lo, hi = r.price, r.price
+						bracketed = true
+					}
+				}
+				if !bracketed {
+					if demandAt(j, 0) <= cap {
+						newPrice = 0 // constraint slack: complementary slackness
+						goto apply
+					}
+					lo, hi = 0, math.Max(r.price, 1e-12)
+				}
+				for demandAt(j, hi) > cap {
+					hi *= 2
+					if math.IsInf(hi, 1) {
+						return errors.New("alloc: dual price diverged")
+					}
+				}
+				for k := 0; k < 100 && hi-lo > bisectTol*hi; k++ {
+					mid := (lo + hi) / 2
+					if demandAt(j, mid) > cap {
+						lo = mid
+					} else {
+						hi = mid
+					}
+				}
+				newPrice = hi
+			apply:
+				if delta := newPrice - r.price; delta != 0 {
+					rel := math.Abs(delta) / math.Max(newPrice, r.price)
+					if rel > maxRel {
+						maxRel = rel
+					}
+					for p, slot := range r.fidx {
+						if slot >= 0 && active[slot] {
+							denom[slot] += delta * r.coef[p]
+						}
+					}
+					r.price = newPrice
+				}
+			}
+			if maxRel < s.opt.Tolerance {
+				stats.Converged = true
+				return nil
+			}
+		}
+		return nil
+	}
+
+	if err := descend(); err != nil {
+		s.invalidate()
+		return nil, stats, err
+	}
+	if !stats.Converged && stats.Warm {
+		// The stale prices led the descent into a bad valley; restart this
+		// same solve from the cold initialization, which is what a cold
+		// Solve would have done all along.
+		for j := range s.rows {
+			if s.rowActive[j] {
+				s.rows[j].price = math.NaN()
+			}
+		}
+		stats.Warm = false
+		if err := descend(); err != nil {
+			s.invalidate()
+			return nil, stats, err
+		}
+	}
+
+	for i := range s.flows {
+		if !s.flows[i].alive {
+			continue
+		}
+		if !active[i] {
+			x[i] = 0
+			continue
+		}
+		if denom[i] <= 0 {
+			s.invalidate()
+			return nil, stats, fmt.Errorf("alloc: flow %d has zero congestion price (unbounded)", i)
+		}
+		x[i] = s.flows[i].weight / denom[i]
+	}
+	// Absorb residual floating-point slack: uniform scaling by the worst
+	// relative violation keeps the result exactly feasible.
+	scale := 1.0
+	for j := range s.rows {
+		if !s.rowActive[j] {
+			continue
+		}
+		r := &s.rows[j]
+		demand := 0.0
+		for p, slot := range r.fidx {
+			if slot >= 0 && active[slot] {
+				demand += r.coef[p] * x[slot]
+			}
+		}
+		if demand > s.rowCap[j] {
+			if sc := s.rowCap[j] / demand; sc < scale {
+				scale = sc
+			}
+		}
+	}
+	if dst == nil {
+		dst = make(map[FlowID]float64, s.live)
+	} else {
+		for k := range dst {
+			delete(dst, k)
+		}
+	}
+	for i := range s.flows {
+		if s.flows[i].alive {
+			r := x[i]
+			if scale < 1 {
+				r *= scale
+			}
+			dst[s.flows[i].id] = r
+		}
+	}
+	s.solved = true
+	return dst, stats, nil
+}
+
+// invalidate drops all prices after a failed solve so the next call
+// re-initializes cold instead of descending from garbage.
+func (s *Solver) invalidate() {
+	for j := range s.rows {
+		s.rows[j].price = math.NaN()
+	}
+	s.solved = false
+}
+
+func (s *Solver) capOf(key rowKey) float64 {
+	if key.elem < s.numNCPs {
+		return s.caps.NCP[key.elem].Get(key.kind)
+	}
+	return s.caps.Link[key.elem-s.numNCPs]
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

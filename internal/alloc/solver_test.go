@@ -1,0 +1,339 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/taskgraph"
+)
+
+// lineN builds a line network of n NCPs (each with the given cpu capacity)
+// joined by n-1 links of the given bandwidth.
+func lineN(t *testing.T, n int, cpu, bw float64) (*network.Network, []network.LinkID) {
+	t.Helper()
+	b := network.NewBuilder("lineN")
+	ids := make([]network.NCPID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddNCP("v", resource.Vector{resource.CPU: cpu}, 0)
+	}
+	links := make([]network.LinkID, n-1)
+	for i := 0; i < n-1; i++ {
+		links[i] = b.AddLink("l", ids[i], ids[i+1], bw, 0)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, links
+}
+
+// segmentFlow places a src -> ct -> snk pipeline on the segment
+// [a, m, b] of a line network, routing its transport tasks along the
+// intermediate links. Distinct segments load distinct constraint rows,
+// which is what exercises the sparse solver.
+func segmentFlow(t *testing.T, net *network.Network, links []network.LinkID, a, m, b int, cpu, bits, weight float64) Flow {
+	t.Helper()
+	tb := taskgraph.NewBuilder("f")
+	s := tb.AddCT("src", nil)
+	c := tb.AddCT("ct", resource.Vector{resource.CPU: cpu})
+	k := tb.AddCT("snk", nil)
+	tb.AddTT("in", s, c, bits)
+	tb.AddTT("out", c, k, bits)
+	g, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.New(g, net)
+	for ct, host := range map[taskgraph.CTID]network.NCPID{s: network.NCPID(a), c: network.NCPID(m), k: network.NCPID(b)} {
+		if err := p.PlaceCT(ct, host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.PlaceTT(0, links[a:m]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PlaceTT(1, links[m:b]); err != nil {
+		t.Fatal(err)
+	}
+	return Flow{Weight: weight, Path: p}
+}
+
+// relDiff is the relative difference of two rates, falling back to the
+// absolute difference near zero.
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// TestSolverWarmMatchesColdUnderChurn is the tentpole property test:
+// through a random interleaving of flow adds, removals and in-place
+// capacity edits, every warm-started incremental Solve must return the
+// same rates as a cold SolveStats over the same live flows and
+// capacities, within solver tolerance.
+func TestSolverWarmMatchesColdUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, links := lineN(t, 8, 100, 80)
+	caps := net.BaseCapacities()
+	s := NewSolver(caps, Options{})
+
+	type held struct {
+		id   FlowID
+		flow Flow
+	}
+	var live []held
+	var dst map[FlowID]float64
+	newFlow := func() Flow {
+		a := rng.Intn(6)
+		m := a + 1 + rng.Intn(7-a-1)
+		b := m + rng.Intn(8-m)
+		if b == m {
+			b = m // CT and sink co-located: out TT routes over no links
+		}
+		return segmentFlow(t, net, links, a, m, b,
+			1+rng.Float64()*10, 1+rng.Float64()*10, 0.5+rng.Float64()*3)
+	}
+
+	warmSeen := false
+	for step := 0; step < 80; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(live) == 0:
+			k := 1 + rng.Intn(3)
+			flows := make([]Flow, k)
+			for i := range flows {
+				flows[i] = newFlow()
+			}
+			ids, err := s.AddFlows(flows)
+			if err != nil {
+				t.Fatalf("step %d: AddFlows: %v", step, err)
+			}
+			for i, id := range ids {
+				live = append(live, held{id: id, flow: flows[i]})
+			}
+		case op == 1:
+			k := 1 + rng.Intn(len(live))
+			ids := make([]FlowID, 0, k)
+			for i := 0; i < k; i++ {
+				j := rng.Intn(len(live))
+				ids = append(ids, live[j].id)
+				live = append(live[:j], live[j+1:]...)
+			}
+			s.RemoveFlows(ids)
+		case op == 2:
+			// In-place capacity mutation: the Solver reads lazily, so no
+			// notification is required.
+			v := rng.Intn(8)
+			caps.NCP[v][resource.CPU] = 20 + rng.Float64()*120
+		default:
+			l := rng.Intn(len(links))
+			caps.Link[links[l]] = 30 + rng.Float64()*80
+		}
+		if s.Len() == 0 {
+			continue
+		}
+
+		var stats Stats
+		var err error
+		dst, stats, err = s.Solve(dst)
+		if err != nil {
+			t.Fatalf("step %d: warm solve: %v", step, err)
+		}
+		if stats.Warm {
+			warmSeen = true
+		}
+		flows := make([]Flow, len(live))
+		for i, h := range live {
+			flows[i] = h.flow
+		}
+		// Random capacities occasionally produce near-degenerate duals on
+		// which cyclic descent converges very slowly; give the cold
+		// reference a generous cycle budget so the comparison measures the
+		// warm start, not the reference's truncation.
+		want, _, err := SolveStats(caps, flows, Options{Cycles: 5000})
+		if err != nil {
+			t.Fatalf("step %d: cold solve: %v", step, err)
+		}
+		if len(dst) != len(live) {
+			t.Fatalf("step %d: %d rates for %d flows", step, len(dst), len(live))
+		}
+		tol := 1e-6
+		if !stats.Converged {
+			// The warm solve ran out of cycles (after its internal cold
+			// restart): its truncated answer is still feasible but only
+			// loosely matches the reference.
+			tol = 0.05
+		}
+		for i, h := range live {
+			if d := relDiff(dst[h.id], want[i]); d > tol {
+				t.Fatalf("step %d: flow %v warm rate %v vs cold %v (diff %v, converged=%v)",
+					step, h.id, dst[h.id], want[i], d, stats.Converged)
+			}
+		}
+	}
+	if !warmSeen {
+		t.Fatal("no solve ever warm-started")
+	}
+}
+
+// TestSolverCompactionPreservesWarmth removes enough flows to trigger row
+// compaction and checks both correctness and that the solver still
+// reports warm starts afterwards.
+func TestSolverCompactionPreservesWarmth(t *testing.T) {
+	net, links := lineN(t, 6, 100, 90)
+	caps := net.BaseCapacities()
+	s := NewSolver(caps, Options{})
+	rng := rand.New(rand.NewSource(11))
+	flows := make([]Flow, 40)
+	for i := range flows {
+		a := rng.Intn(4)
+		m := a + 1
+		b := m + rng.Intn(6-m)
+		flows[i] = segmentFlow(t, net, links, a, m, b, 2+rng.Float64()*5, 1+rng.Float64()*3, 1)
+	}
+	ids, err := s.AddFlows(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveFlows(ids[:36]) // well past the dead > live threshold
+	if s.nnzDead != 0 {
+		t.Fatalf("compaction did not run: %d dead entries", s.nnzDead)
+	}
+	rates, stats, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Warm {
+		t.Fatal("compaction lost the warm prices")
+	}
+	want, _, err := SolveStats(caps, flows[36:], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids[36:] {
+		if d := relDiff(rates[id], want[i]); d > 1e-6 {
+			t.Fatalf("flow %v: warm %v vs cold %v", id, rates[id], want[i])
+		}
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if s.NNZ() == 0 {
+		t.Fatal("NNZ = 0 with live flows")
+	}
+}
+
+// TestSolverWarmCheaperThanCold pins the point of warm starting: after a
+// one-flow delta, the warm re-solve must need no more cycles than the
+// cold solve of the same instance (and in practice far fewer).
+func TestSolverWarmCheaperThanCold(t *testing.T) {
+	net, links := lineN(t, 8, 100, 80)
+	caps := net.BaseCapacities()
+	rng := rand.New(rand.NewSource(3))
+	s := NewSolver(caps, Options{})
+	flows := make([]Flow, 24)
+	for i := range flows {
+		a := rng.Intn(6)
+		m := a + 1
+		b := m + rng.Intn(8-m)
+		flows[i] = segmentFlow(t, net, links, a, m, b, 1+rng.Float64()*8, 1+rng.Float64()*6, 0.5+rng.Float64()*2)
+	}
+	if _, err := s.AddFlows(flows); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(nil); err != nil {
+		t.Fatal(err)
+	}
+	extra := segmentFlow(t, net, links, 2, 3, 5, 4, 2, 1)
+	ids, err := s.AddFlows([]Flow{extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cold, err := SolveStats(caps, append(append([]Flow(nil), flows...), extra), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm || warm.Cycles > cold.Cycles {
+		t.Fatalf("warm solve took %d cycles vs cold %d (warm=%v)", warm.Cycles, cold.Cycles, warm.Warm)
+	}
+	s.RemoveFlows(ids)
+	_, warm2, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm2.Warm {
+		t.Fatal("re-solve after removal did not warm-start")
+	}
+}
+
+// TestSolverZeroCapacityMatchesCold flips an element's capacity to zero
+// between warm solves: the crossing flows must drop to rate zero exactly
+// as the cold path decides.
+func TestSolverZeroCapacityMatchesCold(t *testing.T) {
+	net, links := lineN(t, 4, 50, 60)
+	caps := net.BaseCapacities()
+	s := NewSolver(caps, Options{})
+	f1 := segmentFlow(t, net, links, 0, 1, 2, 5, 2, 1)
+	f2 := segmentFlow(t, net, links, 2, 3, 3, 5, 2, 1)
+	ids, err := s.AddFlows([]Flow{f1, f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(nil); err != nil {
+		t.Fatal(err)
+	}
+	caps.NCP[1][resource.CPU] = 0 // starve f1's compute host
+	rates, _, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[ids[0]] != 0 {
+		t.Fatalf("starved flow rate = %v, want 0", rates[ids[0]])
+	}
+	want, _, err := SolveStats(caps, []Flow{f1, f2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(rates[ids[1]], want[1]); d > 1e-6 {
+		t.Fatalf("surviving flow: warm %v vs cold %v", rates[ids[1]], want[1])
+	}
+	// Restore capacity: the starved flow must come back.
+	caps.NCP[1][resource.CPU] = 50
+	rates, _, err = s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[ids[0]] <= 0 {
+		t.Fatalf("restored flow rate = %v, want > 0", rates[ids[0]])
+	}
+}
+
+// TestSolverValidation mirrors the cold path's error contract.
+func TestSolverValidation(t *testing.T) {
+	net, links := lineN(t, 4, 50, 60)
+	s := NewSolver(net.BaseCapacities(), Options{})
+	if _, _, err := s.Solve(nil); err != ErrNoFlows {
+		t.Fatalf("empty solve err = %v, want ErrNoFlows", err)
+	}
+	bad := segmentFlow(t, net, links, 0, 1, 2, 5, 2, 1)
+	bad.Weight = -1
+	if _, err := s.AddFlows([]Flow{bad}); err == nil {
+		t.Fatal("negative weight must be rejected")
+	}
+	if s.Len() != 0 {
+		t.Fatal("failed AddFlows must insert nothing")
+	}
+	s.RemoveFlows([]FlowID{123}) // unknown ids are ignored
+}

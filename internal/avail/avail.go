@@ -53,13 +53,28 @@ const (
 )
 
 // PathUpProb returns the probability a single path works: the product of
-// (1 - pf) over its distinct fallible elements.
+// (1 - pf) over its distinct fallible elements. Paths carry a handful of
+// elements, so duplicates are skipped with a quadratic scan over the
+// earlier entries rather than a per-call set allocation.
 func PathUpProb(p Path, fp FailProbs) float64 {
 	prob := 1.0
-	for _, e := range distinct(p.Elements) {
+	for i, e := range p.Elements {
+		if seenBefore(p.Elements, i) {
+			continue
+		}
 		prob *= 1 - fp[e]
 	}
 	return prob
+}
+
+// seenBefore reports whether xs[i] already occurs in xs[:i].
+func seenBefore(xs []int, i int) bool {
+	for _, x := range xs[:i] {
+		if x == xs[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // AtLeastOne returns the exact probability that at least one path works,
@@ -219,10 +234,16 @@ func probRateAtLeast(paths []Path, q []float64, minRate float64) float64 {
 // that, elements with zero failure probability are already excluded and
 // larger instances should use Monte Carlo) and returns each path's mask.
 func elementMasks(paths []Path, fp FailProbs) (map[int]int, []uint64) {
+	// Dedup each path's element list once and reuse the set in both
+	// passes instead of recomputing it per loop.
+	elems := make([][]int, len(paths))
+	for pi, p := range paths {
+		elems[pi] = distinct(p.Elements)
+	}
 	idx := map[int]int{}
 	var order []int
-	for _, p := range paths {
-		for _, e := range distinct(p.Elements) {
+	for _, es := range elems {
+		for _, e := range es {
 			if fp[e] == 0 {
 				continue
 			}
@@ -237,8 +258,8 @@ func elementMasks(paths []Path, fp FailProbs) (map[int]int, []uint64) {
 		idx[e] = i
 	}
 	masks := make([]uint64, len(paths))
-	for pi, p := range paths {
-		for _, e := range distinct(p.Elements) {
+	for pi, es := range elems {
+		for _, e := range es {
 			if i, ok := idx[e]; ok && i < 64 {
 				masks[pi] |= 1 << i
 			}
@@ -295,6 +316,13 @@ func monteCarlo(paths []Path, fp FailProbs, samples int, rng *rand.Rand, ok func
 	if samples <= 0 || len(paths) == 0 {
 		return 0
 	}
+	// Hoisted out of the sampling loop: the sorted distinct fallible
+	// elements, and each path's distinct fallible elements as positions
+	// into that list. The inner loop then tests a dense []bool instead of
+	// deduplicating and probing a map per sample. Elements that never
+	// fail are dropped up front (they cannot take a path down), and the
+	// rng stream (one draw per distinct element, sorted order) is
+	// unchanged.
 	elems := map[int]bool{}
 	for _, p := range paths {
 		for _, e := range p.Elements {
@@ -308,23 +336,30 @@ func monteCarlo(paths []Path, fp FailProbs, samples int, rng *rand.Rand, ok func
 		ids = append(ids, e)
 	}
 	sort.Ints(ids)
-	hits := 0
-	down := make(map[int]bool, len(ids))
-	for s := 0; s < samples; s++ {
-		for k := range down {
-			delete(down, k)
-		}
-		for _, e := range ids {
-			if rng.Float64() < fp[e] {
-				down[e] = true
+	pos := make(map[int]int, len(ids))
+	for i, e := range ids {
+		pos[e] = i
+	}
+	pathPos := make([][]int, len(paths))
+	for pi, p := range paths {
+		for _, e := range distinct(p.Elements) {
+			if i, ok := pos[e]; ok {
+				pathPos[pi] = append(pathPos[pi], i)
 			}
+		}
+	}
+	hits := 0
+	down := make([]bool, len(ids))
+	for s := 0; s < samples; s++ {
+		for i, e := range ids {
+			down[i] = rng.Float64() < fp[e]
 		}
 		rate := 0.0
 		anyUp := false
-		for _, p := range paths {
+		for pi, p := range paths {
 			upP := true
-			for _, e := range p.Elements {
-				if down[e] {
+			for _, i := range pathPos[pi] {
+				if down[i] {
 					upP = false
 					break
 				}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/alloc"
+	"sparcle/internal/network"
+	"sparcle/internal/obs"
+	"sparcle/internal/placement"
+	"sparcle/internal/workload"
+)
+
+// TestSchedulerChurn hammers the incremental control plane: interleaved
+// BE/GR submissions, removals, repairs and capacity fluctuations, with the
+// delta-maintained BE pool cross-checked against a full rebuild after every
+// delta update (deltaCapsCheck) and the warm-started rates cross-checked
+// against an independent cold solve after every operation.
+func TestSchedulerChurn(t *testing.T) {
+	deltaCapsCheck = true
+	defer func() { deltaCapsCheck = false }()
+
+	rng := rand.New(rand.NewSource(42))
+	inst, err := workload.Generate(workload.GenConfig{
+		Shape:    workload.ShapeLinear,
+		Topology: workload.TopoMesh,
+		Regime:   workload.Balanced,
+		NumNCPs:  6,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := inst.Net
+	reg := obs.NewRegistry()
+	s := New(net, WithRandSeed(1), WithMetrics(reg))
+
+	appCount := 0
+	live := map[string]bool{}
+	var liveNames []string
+	var liveGR []string
+
+	submitRandom := func(op int) {
+		appCount++
+		shape := workload.ShapeLinear
+		if rng.Intn(2) == 0 {
+			shape = workload.ShapeDiamond
+		}
+		appInst, err := workload.Generate(workload.GenConfig{
+			Shape:    shape,
+			Topology: workload.TopoMesh,
+			Regime:   workload.Balanced,
+			NumNCPs:  6,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := appName(appCount)
+		app := App{
+			Name:  name,
+			Graph: appInst.Graph,
+			Pins:  workload.PinRandomEnds(appInst.Graph, net, rng),
+		}
+		isGR := rng.Intn(3) == 0
+		if isGR {
+			app.QoS = QoS{Class: GuaranteedRate, MinRate: 0.1 + rng.Float64()*0.5, MinRateAvailability: 0.5, MaxPaths: 2}
+		} else {
+			app.QoS = QoS{Class: BestEffort, Priority: 0.5 + rng.Float64()*2, MaxPaths: 2}
+		}
+		if _, err := s.Submit(app); err != nil {
+			if !errors.Is(err, ErrRejected) {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			return
+		}
+		live[name] = true
+		liveNames = append(liveNames, name)
+		if isGR {
+			liveGR = append(liveGR, name)
+		}
+	}
+
+	dropName := func(name string) {
+		for i, n := range liveNames {
+			if n == name {
+				liveNames = append(liveNames[:i], liveNames[i+1:]...)
+				break
+			}
+		}
+		for i, n := range liveGR {
+			if n == name {
+				liveGR = append(liveGR[:i], liveGR[i+1:]...)
+				break
+			}
+		}
+		delete(live, name)
+	}
+
+	removeRandom := func() {
+		if len(liveNames) == 0 {
+			return
+		}
+		name := liveNames[rng.Intn(len(liveNames))]
+		dropName(name)
+		if err := s.Remove(name); err != nil {
+			t.Fatalf("remove %s: %v", name, err)
+		}
+	}
+
+	repairRandom := func(op int) {
+		if len(liveGR) == 0 {
+			return
+		}
+		name := liveGR[rng.Intn(len(liveGR))]
+		if _, err := s.Repair(name); err != nil && !errors.Is(err, ErrRejected) {
+			t.Fatalf("op %d: repair %s: %v", op, name, err)
+		}
+	}
+
+	fluctuate := func() {
+		scale := ElementScale{}
+		for v := 0; v < net.NumNCPs(); v++ {
+			if rng.Intn(4) == 0 {
+				scale[placement.NCPElement(network.NCPID(v))] = 0.5 + rng.Float64()
+			}
+		}
+		if _, err := s.ApplyFluctuation(scale); err != nil {
+			t.Fatalf("fluctuation: %v", err)
+		}
+	}
+
+	for op := 0; op < 150; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			submitRandom(op)
+		case r < 7:
+			removeRandom()
+		case r < 8:
+			repairRandom(op)
+		default:
+			fluctuate()
+		}
+		checkInvariants(t, s, net, live, op)
+		checkDeltaPoolAgainstRebuild(t, s, op)
+		checkWarmRatesAgainstCold(t, s, op)
+	}
+
+	// The run above must actually have exercised the warm path; otherwise
+	// the cross-checks proved nothing.
+	warm := reg.Snapshot()[metricWarmSolves]
+	warmed := false
+	for _, series := range warm.Series {
+		if series.Value != nil && *series.Value > 0 {
+			warmed = true
+		}
+	}
+	if !warmed {
+		t.Fatal("churn run never took a warm-started solve")
+	}
+}
+
+// checkDeltaPoolAgainstRebuild asserts the delta-maintained BE pool equals
+// a from-scratch rebuild (base capacities minus GR reservations).
+func checkDeltaPoolAgainstRebuild(t *testing.T, s *Scheduler, op int) {
+	t.Helper()
+	if err := capsApproxEqual(s.beAvailable, s.recomputeBEAvailable(), 1e-6); err != nil {
+		t.Fatalf("op %d: delta BE pool diverged from rebuild: %v", op, err)
+	}
+}
+
+// checkWarmRatesAgainstCold re-solves the current BE allocation from
+// scratch with a generous cycle budget and asserts the warm-started rates
+// the scheduler installed agree with it.
+func checkWarmRatesAgainstCold(t *testing.T, s *Scheduler, op int) {
+	t.Helper()
+	flows, owners := s.beFlows()
+	if len(flows) == 0 {
+		return
+	}
+	opt := s.allocOpt
+	opt.Cycles = 5000
+	x, stats, err := alloc.SolveStats(s.beAvailable, flows, opt)
+	if err != nil {
+		t.Fatalf("op %d: cold reference solve: %v", op, err)
+	}
+	tol := 1e-6
+	if !stats.Converged {
+		tol = 0.05
+	}
+	for i := range x {
+		got, want := owners[i].Rate, x[i]
+		d := math.Abs(got - want)
+		if d > tol*math.Max(1, math.Max(got, want)) {
+			t.Fatalf("op %d: flow %d warm rate %v vs cold %v (diff %v, tol %v)", op, i, got, want, d, tol)
+		}
+	}
+}

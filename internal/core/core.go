@@ -194,6 +194,24 @@ func WithParallelism(n int) Option {
 	return func(s *Scheduler) { s.parallel = n }
 }
 
+// WithColdAllocation disables the warm-started incremental
+// proportional-fair solver: every Best-Effort re-allocation then builds
+// its constraint rows and dual prices from scratch, exactly as a
+// standalone alloc.Solve would. This is the ablation mode for measuring
+// what incrementality buys on churn-heavy workloads; the results agree
+// with the warm path within the solver tolerance either way.
+func WithColdAllocation() Option {
+	return func(s *Scheduler) { s.coldAlloc = true }
+}
+
+// WithoutDeltaCapacities disables the incremental maintenance of the
+// Best-Effort capacity pool: every Guaranteed-Rate admission, removal and
+// repair then rebuilds the pool from base capacities instead of applying
+// the changed paths' delta. Ablation/debug switch.
+func WithoutDeltaCapacities() Option {
+	return func(s *Scheduler) { s.noDeltaCaps = true }
+}
+
 // WithoutPrediction disables the eq. (6) capacity prediction: new BE
 // applications are placed against the raw residual capacities instead of
 // their priority share. This is the ablation mode for quantifying how much
@@ -217,10 +235,37 @@ type Scheduler struct {
 	failProbs avail.FailProbs
 
 	// beAvailable is the capacity available to the BE class: (possibly
-	// fluctuation-scaled) base capacities minus all GR reservations.
+	// fluctuation-scaled) base capacities minus all GR reservations. It is
+	// maintained incrementally — GR admissions and removals apply their
+	// paths' Subtract/AddBack deltas — and rebuilt from scratch only on
+	// fluctuation rescaling (or while poolClamped, see below).
 	beAvailable *network.Capacities
 	gr          []*PlacedApp
 	be          []*PlacedApp
+
+	// beSolver incrementally re-solves problem (4), keeping constraint
+	// rows and dual prices across churn events so each re-solve
+	// warm-starts near the previous optimum. beFlowIDs maps each admitted
+	// BE app to its solver flow ids (one per path, in path order), and
+	// beRates is the reusable rate map of the last solve.
+	beSolver  *alloc.Solver
+	beFlowIDs map[*PlacedApp][]alloc.FlowID
+	beRates   map[alloc.FlowID]float64
+	// footprints caches each BE app's element footprint for the eq. (6)
+	// prediction; paths never change after admission, so entries live
+	// until the app is removed.
+	footprints map[*PlacedApp]alloc.Footprint
+	// poolClamped records that a fluctuation left some element's GR
+	// reservations above its scaled capacity: the zero-clamp in Subtract
+	// then makes the pool lossy, so releasing a GR path by AddBack would
+	// over-credit. While set, GR releases fall back to a full rebuild.
+	poolClamped bool
+	// coldAlloc disables the warm-started incremental allocation
+	// (WithColdAllocation): every re-solve builds rows and prices from
+	// scratch. noDeltaCaps likewise disables the delta maintenance of
+	// beAvailable. Both are ablation/debug switches.
+	coldAlloc   bool
+	noDeltaCaps bool
 
 	// Telemetry sinks; all default to no-ops (see internal/obs).
 	metrics *obs.Registry
@@ -255,6 +300,7 @@ func New(net *network.Network, opts ...Option) *Scheduler {
 		diversityBias:   1,
 		log:             obs.NopLogger(),
 		published:       map[string]Class{},
+		footprints:      map[*PlacedApp]alloc.Footprint{},
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -279,6 +325,9 @@ func New(net *network.Network, opts ...Option) *Scheduler {
 		s.metrics.SetHelp(metricAppsAdmitted, "Currently admitted applications by class.")
 		s.metrics.SetHelp(metricAllocSolves, "Total best-effort rate-allocation solves by solver.")
 		s.metrics.SetHelp(metricAllocSeconds, "Latency of best-effort rate-allocation solves, seconds.")
+		s.metrics.SetHelp(metricWarmSolves, "Total best-effort rate-allocation solves warm-started from the previous dual prices.")
+		s.metrics.SetHelp(metricAllocNNZ, "Constraint-matrix nonzeros of the most recent best-effort allocation solve.")
+		s.metrics.SetHelp(metricAllocCycles, "Dual coordinate-descent cycles per best-effort allocation solve, by start mode.")
 		s.metrics.SetHelp(metricFluctuations, "Total capacity fluctuations applied.")
 		s.syncAppMetrics()
 	}
@@ -294,8 +343,15 @@ const (
 	metricAppsAdmitted     = "sparcle_apps_admitted"
 	metricAllocSolves      = "sparcle_alloc_solves_total"
 	metricAllocSeconds     = "sparcle_alloc_solve_seconds"
+	metricWarmSolves       = "sparcle_alloc_warm_solves_total"
+	metricAllocNNZ         = "sparcle_alloc_rows_nnz"
+	metricAllocCycles      = "sparcle_alloc_solve_cycles"
 	metricFluctuations     = "sparcle_fluctuations_total"
 )
+
+// allocCycleBuckets tiles the warm (1-3 cycles) through cold (tens to
+// hundreds) convergence regimes of the dual descent.
+var allocCycleBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 100, 200, 300}
 
 // telemetryOn reports whether any sink beyond the no-op logger is
 // attached; Submit takes the zero-overhead path when it is false.
@@ -468,14 +524,17 @@ func (s *Scheduler) submitGR(app App) (*PlacedApp, error) {
 		achieved = a
 		if achieved >= app.QoS.MinRateAvailability {
 			pa := &PlacedApp{App: app, Paths: paths, Availability: achieved}
+			prev := s.beAvailable
 			s.gr = append(s.gr, pa)
 			s.beAvailable = residual
 			// GR admission shrinks the BE capacity pool: re-allocate.
 			if err := s.reallocateBE(); err != nil {
 				// Roll back the reservation rather than leave BE apps
-				// unallocated.
+				// unallocated. The pre-admission pool object was never
+				// mutated (the reservation went onto the residual clone),
+				// so restoring the pointer is exact.
 				s.gr = s.gr[:len(s.gr)-1]
-				s.beAvailable = s.recomputeBEAvailable()
+				s.beAvailable = prev
 				return nil, fmt.Errorf("core: GR app %q starves BE allocation: %w: %w", app.Name, ErrRejected, err)
 			}
 			return pa, nil
@@ -504,9 +563,16 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 			}
 		}
 	} else {
+		// Footprints only depend on an app's paths, which never change
+		// after admission, so they are computed once per app and cached.
 		footprints := make([]alloc.Footprint, 0, len(s.be))
 		for _, pa := range s.be {
-			footprints = append(footprints, alloc.FootprintOf(pa.App.QoS.Priority, pa.Paths))
+			fp, ok := s.footprints[pa]
+			if !ok {
+				fp = alloc.FootprintOf(pa.App.QoS.Priority, pa.Paths)
+				s.footprints[pa] = fp
+			}
+			footprints = append(footprints, fp)
 		}
 		predicted = alloc.Predict(s.beAvailable, footprints, app.QoS.Priority)
 	}
@@ -562,10 +628,84 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 // writes the resulting rates back onto their paths. Each path is a flow
 // weighted by Priority/len(paths), so an application's aggregate weight is
 // its priority regardless of how many availability paths it holds.
+//
+// The default path is incremental: the scheduler-owned alloc.Solver keeps
+// the sparse constraint rows and dual prices of the previous solve, the
+// admitted-app set is reconciled against it by delta, and the descent
+// warm-starts from the previous prices. Max-min fairness,
+// WithColdAllocation, and any incremental-solve failure take the cold
+// path, which rebuilds everything from scratch exactly as before.
 func (s *Scheduler) reallocateBE() error {
 	if len(s.be) == 0 {
+		// Keep the solver honest when the last BE app departs, so a later
+		// admission does not resurrect stale flows.
+		if s.beSolver != nil {
+			for pa, ids := range s.beFlowIDs {
+				s.beSolver.RemoveFlows(ids)
+				delete(s.beFlowIDs, pa)
+			}
+		}
 		return nil
 	}
+	solver := "proportional-fair"
+	instrumented := s.metrics != nil || s.tracer.Enabled()
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+	}
+	var (
+		stats alloc.Stats
+		err   error
+	)
+	switch {
+	case s.maxMin:
+		solver = "max-min"
+		flows, owners := s.beFlows()
+		var x []float64
+		x, err = alloc.SolveMaxMin(s.beAvailable, flows)
+		stats = alloc.Stats{Flows: len(flows), Converged: err == nil}
+		for i := range x {
+			owners[i].Rate = x[i]
+		}
+	case s.coldAlloc:
+		stats, err = s.coldSolve()
+	default:
+		stats, err = s.incrementalSolve()
+		if err != nil {
+			// The incremental state may be unusable (e.g. a divergence
+			// from pathological prices); discard it and retry cold before
+			// giving up, matching the pre-incremental behaviour.
+			s.dropSolver()
+			stats, err = s.coldSolve()
+		}
+	}
+	if instrumented {
+		elapsed := time.Since(start).Seconds()
+		if s.metrics != nil {
+			s.metrics.Counter(metricAllocSolves, obs.L("solver", solver)).Inc()
+			s.metrics.Histogram(metricAllocSeconds, nil).Observe(elapsed)
+			mode := "cold"
+			if stats.Warm {
+				mode = "warm"
+				s.metrics.Counter(metricWarmSolves).Inc()
+			}
+			s.metrics.Gauge(metricAllocNNZ).Set(float64(stats.NNZ))
+			s.metrics.Histogram(metricAllocCycles, allocCycleBuckets, obs.L("mode", mode)).Observe(float64(stats.Cycles))
+		}
+		s.tracer.Alloc(obs.AllocEvent{
+			Solver: solver, Flows: stats.Flows, Rows: stats.Rows, NNZ: stats.NNZ,
+			Cycles: stats.Cycles, Converged: stats.Converged, Warm: stats.Warm, Seconds: elapsed,
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("core: best-effort rate allocation: %w", err)
+	}
+	return nil
+}
+
+// beFlows flattens the admitted BE apps into allocation flows plus the
+// paths owning each flow's resulting rate.
+func (s *Scheduler) beFlows() ([]alloc.Flow, []*placement.Path) {
 	var flows []alloc.Flow
 	var owners []*placement.Path
 	for _, pa := range s.be {
@@ -575,42 +715,78 @@ func (s *Scheduler) reallocateBE() error {
 			owners = append(owners, &pa.Paths[i])
 		}
 	}
-	var (
-		x     []float64
-		stats alloc.Stats
-		err   error
-	)
-	solver := "proportional-fair"
-	instrumented := s.metrics != nil || s.tracer.Enabled()
-	var start time.Time
-	if instrumented {
-		start = time.Now()
-	}
-	if s.maxMin {
-		solver = "max-min"
-		x, err = alloc.SolveMaxMin(s.beAvailable, flows)
-		stats = alloc.Stats{Flows: len(flows), Converged: err == nil}
-	} else {
-		x, stats, err = alloc.SolveStats(s.beAvailable, flows, s.allocOpt)
-	}
-	if instrumented {
-		elapsed := time.Since(start).Seconds()
-		if s.metrics != nil {
-			s.metrics.Counter(metricAllocSolves, obs.L("solver", solver)).Inc()
-			s.metrics.Histogram(metricAllocSeconds, nil).Observe(elapsed)
-		}
-		s.tracer.Alloc(obs.AllocEvent{
-			Solver: solver, Flows: stats.Flows, Rows: stats.Rows,
-			Cycles: stats.Cycles, Converged: stats.Converged, Seconds: elapsed,
-		})
-	}
+	return flows, owners
+}
+
+// coldSolve runs a from-scratch proportional-fair solve and writes the
+// rates back. Path rates are only updated on success.
+func (s *Scheduler) coldSolve() (alloc.Stats, error) {
+	flows, owners := s.beFlows()
+	x, stats, err := alloc.SolveStats(s.beAvailable, flows, s.allocOpt)
 	if err != nil {
-		return fmt.Errorf("core: best-effort rate allocation: %w", err)
+		return stats, err
 	}
-	for i, rate := range x {
-		owners[i].Rate = rate
+	for i := range x {
+		owners[i].Rate = x[i]
 	}
-	return nil
+	return stats, nil
+}
+
+// incrementalSolve reconciles the scheduler-owned Solver against the
+// admitted-app set, warm-starts the dual descent, and writes the rates
+// back.
+func (s *Scheduler) incrementalSolve() (alloc.Stats, error) {
+	if s.beSolver == nil {
+		s.beSolver = alloc.NewSolver(s.beAvailable, s.allocOpt)
+		s.beFlowIDs = map[*PlacedApp][]alloc.FlowID{}
+	}
+	// The pool pointer changes on GR admission and fluctuation rebuilds;
+	// in-place delta mutations need no notice (capacities are read lazily).
+	s.beSolver.SetCapacities(s.beAvailable)
+	current := make(map[*PlacedApp]bool, len(s.be))
+	for _, pa := range s.be {
+		current[pa] = true
+	}
+	for pa, ids := range s.beFlowIDs {
+		if !current[pa] {
+			s.beSolver.RemoveFlows(ids)
+			delete(s.beFlowIDs, pa)
+		}
+	}
+	for _, pa := range s.be {
+		if _, ok := s.beFlowIDs[pa]; ok {
+			continue
+		}
+		w := pa.App.QoS.Priority / float64(len(pa.Paths))
+		flows := make([]alloc.Flow, len(pa.Paths))
+		for i := range pa.Paths {
+			flows[i] = alloc.Flow{Weight: w, Path: pa.Paths[i].P}
+		}
+		ids, err := s.beSolver.AddFlows(flows)
+		if err != nil {
+			return alloc.Stats{}, err
+		}
+		s.beFlowIDs[pa] = ids
+	}
+	rates, stats, err := s.beSolver.Solve(s.beRates)
+	if err != nil {
+		return stats, err
+	}
+	s.beRates = rates
+	for _, pa := range s.be {
+		for i, id := range s.beFlowIDs[pa] {
+			pa.Paths[i].Rate = rates[id]
+		}
+	}
+	return stats, nil
+}
+
+// dropSolver discards the incremental allocation state; the next
+// reallocateBE rebuilds it from the admitted apps.
+func (s *Scheduler) dropSolver() {
+	s.beSolver = nil
+	s.beFlowIDs = nil
+	s.beRates = nil
 }
 
 // recomputeBEAvailable rebuilds the BE capacity pool from scratch: the

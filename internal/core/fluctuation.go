@@ -55,6 +55,10 @@ func (s *Scheduler) ApplyFluctuation(scale ElementScale) (*FluctuationReport, er
 			report.ViolatedGR = append(report.ViolatedGR, pa.App.Name)
 		}
 	}
+	// While oversubscribed, the rebuild below clamps some element at zero
+	// and the pool stops being an exact running sum: delta add-backs are
+	// suspended until the clamp clears (see releaseGR).
+	s.poolClamped = len(over) > 0
 
 	s.beAvailable = s.recomputeBEAvailable()
 	if err := s.reallocateBE(); err != nil {

@@ -121,3 +121,38 @@ func TestSchedulerTelemetry(t *testing.T) {
 		t.Fatalf("trace missing app context: %v", apps)
 	}
 }
+
+// TestAllocTelemetryMetrics covers the incremental-solver metric series:
+// warm solve counter, constraint-matrix nnz gauge, and the per-mode cycle
+// histogram.
+func TestAllocTelemetryMetrics(t *testing.T) {
+	net := twoBranchNet(t, 100, 50, 1e6, 0)
+	reg := obs.NewRegistry()
+	s := New(net, WithMetrics(reg))
+
+	if _, err := s.Submit(simpleApp(t, "be1", net, 10, QoS{Class: BestEffort, Priority: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(simpleApp(t, "be2", net, 10, QoS{Class: BestEffort, Priority: 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	warm := findSeries(snap[metricWarmSolves], nil)
+	if warm == nil || *warm.Value < 1 {
+		t.Fatalf("warm solve counter = %+v, want >= 1 (second admission should warm-start)", warm)
+	}
+	nnz := findSeries(snap[metricAllocNNZ], nil)
+	if nnz == nil || *nnz.Value <= 0 {
+		t.Fatalf("nnz gauge = %+v, want > 0", nnz)
+	}
+	cycles := snap[metricAllocCycles]
+	cold := findSeries(cycles, map[string]string{"mode": "cold"})
+	if cold == nil || *cold.Count < 1 {
+		t.Fatalf("cold cycle histogram = %+v, want count >= 1 (first admission is cold)", cold)
+	}
+	warmH := findSeries(cycles, map[string]string{"mode": "warm"})
+	if warmH == nil || *warmH.Count < 1 {
+		t.Fatalf("warm cycle histogram = %+v, want count >= 1", warmH)
+	}
+}

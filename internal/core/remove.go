@@ -20,13 +20,14 @@ func (s *Scheduler) remove(name string) error {
 	for i, pa := range s.gr {
 		if pa.App.Name == name {
 			s.gr = append(s.gr[:i], s.gr[i+1:]...)
-			s.beAvailable = s.recomputeBEAvailable()
+			s.releaseGR(pa)
 			return s.reallocateBE()
 		}
 	}
 	for i, pa := range s.be {
 		if pa.App.Name == name {
 			s.be = append(s.be[:i], s.be[i+1:]...)
+			delete(s.footprints, pa)
 			return s.reallocateBE()
 		}
 	}

@@ -66,14 +66,14 @@ func (s *Scheduler) repair(name string) (*PlacedApp, error) {
 	old := s.gr[idx]
 	// Release the old reservation.
 	s.gr = append(s.gr[:idx], s.gr[idx+1:]...)
-	s.beAvailable = s.recomputeBEAvailable()
+	s.releaseGR(old)
 
 	repaired, err := s.submitGR(old.App)
 	if err != nil {
 		// Restore the previous (violated) placement so the operator
 		// keeps whatever service remains.
 		s.gr = append(s.gr, old)
-		s.beAvailable = s.recomputeBEAvailable()
+		s.reserveGR(old)
 		if reallocErr := s.reallocateBE(); reallocErr != nil {
 			return nil, fmt.Errorf("core: repair rollback failed: %w", reallocErr)
 		}

@@ -1,0 +1,200 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sparcle/internal/core"
+	"sparcle/internal/workload"
+)
+
+// ChurnRow is one (population size, control-plane configuration) cell of
+// the churn experiment.
+type ChurnRow struct {
+	// Apps is the steady-state number of admitted applications.
+	Apps int
+	// Mode names the control-plane configuration (cold, warm, warm+delta).
+	Mode string
+	// MeanEvent is the mean wall-clock time of one churn event (withdraw
+	// the oldest application and admit a replacement).
+	MeanEvent time.Duration
+	// EventsPerSec is the steady-state churn throughput, 1/MeanEvent.
+	EventsPerSec float64
+}
+
+// ChurnResult holds the churn sweep.
+type ChurnResult struct {
+	Rows []ChurnRow
+}
+
+// Churn measures the multi-application control plane under application
+// churn: a scheduler holds a steady population of N applications (3 BE :
+// 1 GR) on a mesh, and each event withdraws the oldest application and
+// admits a fresh one, re-solving the Best-Effort allocation both times.
+// The sweep ablates the incremental control plane — from-scratch solves
+// with full capacity-pool rebuilds (cold), warm-started duals on the
+// scheduler-owned sparse solver (warm), and warm plus delta capacity
+// accounting (warm+delta, the default configuration).
+func Churn(cfg Config) (*ChurnResult, error) {
+	events := cfg.trials(0) * 10
+	if events <= 0 {
+		events = 50
+	}
+	res := &ChurnResult{}
+	for _, n := range []int{16, 64, 256} {
+		for _, mode := range []struct {
+			name string
+			opts []core.Option
+		}{
+			{"cold", []core.Option{core.WithColdAllocation(), core.WithoutDeltaCapacities()}},
+			{"warm", []core.Option{core.WithoutDeltaCapacities()}},
+			{"warm+delta", nil},
+		} {
+			mean, err := churnCell(cfg.Seed, n, events, mode.opts)
+			if err != nil {
+				return nil, fmt.Errorf("churn %d/%s: %w", n, mode.name, err)
+			}
+			row := ChurnRow{Apps: n, Mode: mode.name, MeanEvent: mean}
+			if mean > 0 {
+				row.EventsPerSec = float64(time.Second) / float64(mean)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func churnCell(seed int64, n, events int, opts []core.Option) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := workload.Generate(workload.GenConfig{
+		Shape:    workload.ShapeLinear,
+		Topology: workload.TopoMesh,
+		Regime:   workload.Balanced,
+		NumNCPs:  12,
+	}, rng)
+	if err != nil {
+		return 0, err
+	}
+	net := inst.Net
+	s := core.New(net, append([]core.Option{core.WithRandSeed(1)}, opts...)...)
+
+	var templates []core.App
+	for i := 0; i < 8; i++ {
+		shape := workload.ShapeLinear
+		if i%2 == 0 {
+			shape = workload.ShapeDiamond
+		}
+		ti, err := workload.Generate(workload.GenConfig{
+			Shape:    shape,
+			Topology: workload.TopoMesh,
+			Regime:   workload.Balanced,
+			NumNCPs:  12,
+		}, rng)
+		if err != nil {
+			return 0, err
+		}
+		app := core.App{Graph: ti.Graph, Pins: workload.PinRandomEnds(ti.Graph, net, rng)}
+		if i%4 == 3 {
+			app.QoS = core.QoS{Class: core.GuaranteedRate, MinRate: 0.01, MinRateAvailability: 0.5, MaxPaths: 2}
+		} else {
+			app.QoS = core.QoS{Class: core.BestEffort, Priority: 0.5 + rng.Float64()*2, MaxPaths: 2}
+		}
+		templates = append(templates, app)
+	}
+
+	seq := 0
+	var live []string
+	admit := func() error {
+		app := templates[seq%len(templates)]
+		app.Name = fmt.Sprintf("app-%d", seq)
+		seq++
+		if _, err := s.Submit(app); err != nil {
+			if errors.Is(err, core.ErrRejected) {
+				return nil
+			}
+			return err
+		}
+		live = append(live, app.Name)
+		return nil
+	}
+	for len(live) < n {
+		prev := len(live)
+		if err := admit(); err != nil {
+			return 0, err
+		}
+		if len(live) == prev && seq > 4*n {
+			return 0, fmt.Errorf("could not admit %d apps (stuck at %d)", n, len(live))
+		}
+	}
+
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		name := live[0]
+		live = live[1:]
+		if err := s.Remove(name); err != nil {
+			return 0, err
+		}
+		if err := admit(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(events), nil
+}
+
+// Table renders the churn sweep with the speedup of each mode over cold at
+// the same population size.
+func (r *ChurnResult) Table() *Table {
+	t := &Table{
+		Title:   "Extension — control-plane churn throughput (incremental solves and delta capacity accounting)",
+		Headers: []string{"apps", "mode", "mean event", "events/sec", "vs cold"},
+		Notes: []string{
+			"one event = withdraw the oldest app + admit a replacement (two BE re-solves)",
+			"warm reuses the sparse constraint rows and dual prices of the previous solve",
+			"warm+delta additionally maintains the BE capacity pool by sparse deltas on GR admission/release",
+		},
+	}
+	cold := map[int]time.Duration{}
+	for _, row := range r.Rows {
+		if row.Mode == "cold" {
+			cold[row.Apps] = row.MeanEvent
+		}
+	}
+	for _, row := range r.Rows {
+		vs := "-"
+		if c, ok := cold[row.Apps]; ok && row.MeanEvent > 0 && row.Mode != "cold" {
+			vs = fmt.Sprintf("%.1fx", float64(c)/float64(row.MeanEvent))
+		}
+		t.AddRow(fmt.Sprintf("%d", row.Apps), row.Mode, row.MeanEvent.String(),
+			fmt.Sprintf("%.0f", row.EventsPerSec), vs)
+	}
+	return t
+}
+
+// Speedup returns the cold/mode mean-event ratio at the largest population
+// size, for tests.
+func (r *ChurnResult) Speedup(mode string) float64 {
+	maxApps := 0
+	for _, row := range r.Rows {
+		if row.Apps > maxApps {
+			maxApps = row.Apps
+		}
+	}
+	var cold, m time.Duration
+	for _, row := range r.Rows {
+		if row.Apps != maxApps {
+			continue
+		}
+		switch row.Mode {
+		case "cold":
+			cold = row.MeanEvent
+		case mode:
+			m = row.MeanEvent
+		}
+	}
+	if cold == 0 || m == 0 {
+		return 0
+	}
+	return float64(cold) / float64(m)
+}

@@ -514,3 +514,24 @@ func TestBackpressureConverges(t *testing.T) {
 	}
 	mustRenderTable(t, res.Table(), "backpressure")
 }
+
+func TestChurnShapes(t *testing.T) {
+	res, err := Churn(Config{Trials: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("got %d rows, want 9 (3 sizes x 3 modes)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MeanEvent <= 0 {
+			t.Fatalf("%d/%s: non-positive mean event time %v", row.Apps, row.Mode, row.MeanEvent)
+		}
+	}
+	// The incremental control plane must not be slower than cold solves at
+	// the largest population (generous slack: this is a timing test).
+	if sp := res.Speedup("warm+delta"); sp < 0.8 {
+		t.Fatalf("warm+delta speedup %v at largest size, want >= 0.8", sp)
+	}
+	mustRenderTable(t, res.Table(), "churn")
+}

@@ -161,4 +161,3 @@ func (r *Registry) Snapshot() map[string]FamilySnapshot {
 	}
 	return out
 }
-

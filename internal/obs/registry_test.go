@@ -230,3 +230,18 @@ func TestFormatFloat(t *testing.T) {
 		t.Errorf("formatFloat(NaN) = %q", got)
 	}
 }
+
+// TestNilRegistryAllocationFree pins that telemetry calls on a nil registry
+// (the untelemetered scheduler configuration) are free: no per-call
+// allocations on the hot allocation path.
+func TestNilRegistryAllocationFree(t *testing.T) {
+	var r *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Counter("sparcle_alloc_warm_solves_total").Inc()
+		r.Gauge("sparcle_alloc_rows_nnz").Set(42)
+		r.Histogram("sparcle_alloc_solve_cycles", nil, L("mode", "warm")).Observe(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-registry telemetry allocates %v per run, want 0", allocs)
+	}
+}

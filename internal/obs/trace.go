@@ -229,8 +229,10 @@ type AllocEvent struct {
 	Solver    string  `json:"solver"` // "proportional-fair" or "max-min"
 	Flows     int     `json:"flows"`
 	Rows      int     `json:"rows,omitempty"`
+	NNZ       int     `json:"nnz,omitempty"`
 	Cycles    int     `json:"cycles,omitempty"`
 	Converged bool    `json:"converged"`
+	Warm      bool    `json:"warm,omitempty"`
 	Seconds   float64 `json:"seconds"`
 }
 

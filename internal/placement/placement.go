@@ -55,6 +55,13 @@ type Placement struct {
 
 	ncpLoad  []resource.Vector // per-data-unit load on each NCP
 	linkLoad []float64         // per-data-unit bits on each link
+
+	// loadedNCPs and loadedLinks list the elements with nonzero load, in
+	// first-loaded order, so consumers (constraint-row builders, capacity
+	// deltas, footprints) can visit a placement's footprint in O(nnz)
+	// instead of scanning every element of the network.
+	loadedNCPs  []network.NCPID
+	loadedLinks []network.LinkID
 }
 
 // New returns an empty placement of g on net.
@@ -87,6 +94,9 @@ func (p *Placement) Clone() *Placement {
 		ttPlaced: append([]bool(nil), p.ttPlaced...),
 		ncpLoad:  make([]resource.Vector, len(p.ncpLoad)),
 		linkLoad: append([]float64(nil), p.linkLoad...),
+
+		loadedNCPs:  append([]network.NCPID(nil), p.loadedNCPs...),
+		loadedLinks: append([]network.LinkID(nil), p.loadedLinks...),
 	}
 	for i, r := range p.ttRoute {
 		out.ttRoute[i] = append([]network.LinkID(nil), r...)
@@ -107,7 +117,11 @@ func (p *Placement) PlaceCT(ct taskgraph.CTID, host network.NCPID) error {
 		return fmt.Errorf("placement: invalid host %d for CT %d", host, ct)
 	}
 	p.ctHost[ct] = host
+	wasZero := p.ncpLoad[host].IsZero()
 	p.ncpLoad[host].Add(p.Graph.CT(ct).Req)
+	if wasZero && !p.ncpLoad[host].IsZero() {
+		p.loadedNCPs = append(p.loadedNCPs, host)
+	}
 	return nil
 }
 
@@ -129,6 +143,9 @@ func (p *Placement) PlaceTT(tt taskgraph.TTID, route []network.LinkID) error {
 	p.ttRoute[tt] = append([]network.LinkID(nil), route...)
 	p.ttPlaced[tt] = true
 	for _, l := range route {
+		if p.linkLoad[l] == 0 && t.Bits > 0 {
+			p.loadedLinks = append(p.loadedLinks, l)
+		}
 		p.linkLoad[l] += t.Bits
 	}
 	return nil
@@ -189,6 +206,16 @@ func (p *Placement) NCPLoad(v network.NCPID) resource.Vector { return p.ncpLoad[
 // LinkLoad returns the per-data-unit bits this placement puts on link l.
 func (p *Placement) LinkLoad(l network.LinkID) float64 { return p.linkLoad[l] }
 
+// LoadedNCPs returns the NCPs on which this placement induces a nonzero
+// load, in first-loaded order. The slice is shared; callers must not
+// mutate it.
+func (p *Placement) LoadedNCPs() []network.NCPID { return p.loadedNCPs }
+
+// LoadedLinks returns the links on which this placement induces a nonzero
+// load, in first-loaded order. The slice is shared; callers must not
+// mutate it.
+func (p *Placement) LoadedLinks() []network.LinkID { return p.loadedLinks }
+
 // Rate returns the maximum stable processing rate of this placement under
 // the given residual capacities: min over elements of capacity / load
 // (§IV.A). An incomplete placement has rate 0.
@@ -226,15 +253,28 @@ func (p *Placement) Rate(caps *network.Capacities) float64 {
 // Subtract reserves this placement's resources at the given rate in caps:
 // every element loses rate * its per-unit load.
 func (p *Placement) Subtract(caps *network.Capacities, rate float64) {
-	for v, load := range p.ncpLoad {
-		if !load.IsZero() {
-			caps.SubtractNCP(network.NCPID(v), load, rate)
-		}
+	for _, v := range p.loadedNCPs {
+		caps.SubtractNCP(v, p.ncpLoad[v], rate)
 	}
-	for l, bits := range p.linkLoad {
-		if bits > 0 {
-			caps.SubtractLink(network.LinkID(l), bits, rate)
+	for _, l := range p.loadedLinks {
+		caps.SubtractLink(l, p.linkLoad[l], rate)
+	}
+}
+
+// AddBack releases this placement's resources at the given rate in caps:
+// the sparse inverse of Subtract. Because Subtract clamps tiny negative
+// residues at zero, AddBack may overshoot the original capacity by
+// floating-point residue only; callers that need exactness rebuild from
+// base capacities instead.
+func (p *Placement) AddBack(caps *network.Capacities, rate float64) {
+	for _, v := range p.loadedNCPs {
+		if caps.NCP[v] == nil {
+			caps.NCP[v] = resource.Vector{}
 		}
+		caps.NCP[v].AddScaled(p.ncpLoad[v], rate)
+	}
+	for _, l := range p.loadedLinks {
+		caps.Link[l] += p.linkLoad[l] * rate
 	}
 }
 

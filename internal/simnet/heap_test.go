@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEventHeapOrdering drives the hand-rolled heap against a reference
+// sort: pops must come out in (at, seq) order regardless of push order.
+func TestEventHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h eventHeap
+	const n = 2000
+	for i := 0; i < n; i++ {
+		// Duplicate timestamps exercise the seq tie-break.
+		h.push(event{at: float64(rng.Intn(50)), seq: int64(i)})
+	}
+	prev := event{at: -1, seq: -1}
+	for i := 0; i < n; i++ {
+		ev := h.pop()
+		if ev.at < prev.at || (ev.at == prev.at && ev.seq <= prev.seq) {
+			t.Fatalf("pop %d out of order: got (at=%v seq=%d) after (at=%v seq=%d)",
+				i, ev.at, ev.seq, prev.at, prev.seq)
+		}
+		prev = ev
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.Len())
+	}
+}
+
+func TestEventHeapInit(t *testing.T) {
+	h := eventHeap{{at: 5, seq: 0}, {at: 1, seq: 1}, {at: 3, seq: 2}, {at: 1, seq: 0}}
+	h.init()
+	want := []struct {
+		at  float64
+		seq int64
+	}{{1, 0}, {1, 1}, {3, 2}, {5, 0}}
+	for i, w := range want {
+		ev := h.pop()
+		if ev.at != w.at || ev.seq != w.seq {
+			t.Fatalf("pop %d: got (at=%v seq=%d), want (at=%v seq=%d)", i, ev.at, ev.seq, w.at, w.seq)
+		}
+	}
+}
+
+// TestEventHeapSteadyStateAllocs pins the point of the typed heap: a
+// steady-state push/pop cycle must not allocate (container/heap boxes every
+// Push operand and Pop result into an interface{}).
+func TestEventHeapSteadyStateAllocs(t *testing.T) {
+	h := make(eventHeap, 0, 1024)
+	for i := 0; i < 512; i++ {
+		h.push(event{at: float64(i % 37), seq: int64(i)})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := h.pop()
+		ev.seq += 512
+		h.push(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocates %v times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEventHeap(b *testing.B) {
+	h := make(eventHeap, 0, 1024)
+	for i := 0; i < 512; i++ {
+		h.push(event{at: float64(i % 37), seq: int64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := h.pop()
+		ev.seq = int64(512 + i)
+		h.push(ev)
+	}
+}

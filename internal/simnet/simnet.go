@@ -15,7 +15,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -199,23 +198,66 @@ type event struct {
 	elem int // for evDone: element index
 }
 
+// eventHeap is a binary min-heap over (at, seq), hand-rolled instead of
+// wrapping container/heap: the interface{} boxing in heap.Push/heap.Pop
+// allocates on every event, and the event loop is the simulator's hot path.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	*h = s[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *eventHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && s.less(right, left) {
+			min = right
+		}
+		if !s.less(min, i) {
+			return
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
 }
 
 // job is one unit of work at one element: a CT execution or a single-link
@@ -302,11 +344,11 @@ func (s *Sim) Run(cfg Config) (*Report, error) {
 			}
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
 	events := 0
 	for h.Len() > 0 {
-		ev := heap.Pop(&h).(event)
+		ev := h.pop()
 		if ev.at > cfg.Duration {
 			break
 		}
@@ -384,7 +426,7 @@ func (st *runState) handleEmit(h *eventHeap, ev event) {
 	}
 	next := ev.at + gap
 	if next <= st.cfg.Duration {
-		heap.Push(h, event{at: next, seq: st.nextSeq(), kind: evEmit, app: ev.app, unit: ev.unit + 1, ct: ev.ct})
+		h.push(event{at: next, seq: st.nextSeq(), kind: evEmit, app: ev.app, unit: ev.unit + 1, ct: ev.ct})
 	}
 }
 
@@ -474,7 +516,7 @@ func (st *runState) startService(h *eventHeap, now float64, elem int, j job) {
 	if !j.isCT {
 		srv.bits += j.bits
 	}
-	heap.Push(h, event{at: finish, seq: st.nextSeq(), kind: evDone, app: j.app, elem: elem})
+	h.push(event{at: finish, seq: st.nextSeq(), kind: evDone, app: j.app, elem: elem})
 }
 
 // finishTime adds service seconds of work starting at now, skipping the
@@ -545,7 +587,7 @@ func (st *runState) complete(h *eventHeap, appIdx int, unit int64, at float64) {
 		next := st.nextUnit[appIdx]
 		st.nextUnit[appIdx]++
 		for _, src := range app.p.Graph.Sources() {
-			heap.Push(h, event{at: at, seq: st.nextSeq(), kind: evEmit, app: appIdx, unit: next, ct: src})
+			h.push(event{at: at, seq: st.nextSeq(), kind: evEmit, app: appIdx, unit: next, ct: src})
 		}
 	}
 	if at < st.cfg.Warmup || at > st.cfg.Duration {

@@ -145,6 +145,18 @@ func WithMaxMinFairness() SchedulerOption { return core.WithMaxMinFairness() }
 // path at some rate cost.
 func WithDiverseMultiPath(bias float64) SchedulerOption { return core.WithDiverseMultiPath(bias) }
 
+// WithColdAllocation disables the incremental Best-Effort solver: every
+// re-allocation solves problem (4) from scratch instead of warm-starting
+// from the previous solve's constraint rows and dual prices. An ablation
+// switch; results are identical either way.
+func WithColdAllocation() SchedulerOption { return core.WithColdAllocation() }
+
+// WithoutDeltaCapacities disables delta maintenance of the Best-Effort
+// capacity pool: every Guaranteed-Rate admission or release rebuilds the
+// pool from base capacities instead of applying the reservation's sparse
+// delta. An ablation switch; results are identical either way.
+func WithoutDeltaCapacities() SchedulerOption { return core.WithoutDeltaCapacities() }
+
 // Observability (see internal/obs): a dependency-free metrics registry,
 // a JSONL decision tracer and structured logging, all optional and free
 // when unset.
