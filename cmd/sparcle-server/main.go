@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sparcle/internal/core"
 	"sparcle/internal/obs"
@@ -122,9 +126,39 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		root.Handle("/", handler)
 		handler = root
 	}
-	httpSrv := &http.Server{Handler: handler}
-	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+	// Slow-client protection: bound header and body reads and reap idle
+	// keep-alive connections. No WriteTimeout — /debug/pprof/profile
+	// legitimately streams for 30s.
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
-	return nil
+
+	// Drain on SIGINT/SIGTERM: stop accepting, finish in-flight requests,
+	// then exit cleanly so orchestrators see a graceful stop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(out, "sparcle-server: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }

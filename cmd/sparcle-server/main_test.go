@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -129,5 +130,52 @@ func TestServerObservabilityEndpoints(t *testing.T) {
 	}
 	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline: %d\n%s", code, body)
+	}
+}
+
+// TestServerGracefulShutdown starts the server, confirms it serves, then
+// delivers SIGINT to the process: run must drain and return nil rather
+// than crash or hang.
+func TestServerGracefulShutdown(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-f", writeExample(t), "-addr", "127.0.0.1:0"}, &out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// run's signal.NotifyContext consumes the signal, so the test binary
+	// itself is unaffected.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGINT")
+	}
+	if !strings.Contains(out.String(), "draining") {
+		t.Fatalf("missing drain log: %s", out.String())
+	}
+	// The listener must be released.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after shutdown")
 	}
 }

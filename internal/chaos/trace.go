@@ -1,0 +1,278 @@
+// Package chaos closes SPARCLE's availability loop: the scheduler admits
+// Guaranteed-Rate applications against an analytical availability bound
+// (problem (5), eq. (7)) computed from per-element failure probabilities,
+// but nothing in the repo ever *fails* an element. This package generates
+// replayable failure traces from the paper's failure model, injects them
+// into a running scheduler, self-heals violated guarantees with bounded
+// backoff, and measures the availability actually delivered so it can be
+// compared against the analytical bound — the canonical robustness
+// validation for a scheduler that claims probabilistic guarantees.
+//
+// The failure model is the alternating renewal process implied by a
+// steady-state failure probability p: an element alternates exponentially
+// distributed up times (mean MTTF) and down times (mean MTTR), with MTTF
+// calibrated so the stationary unavailability MTTR/(MTTF+MTTR) equals p.
+// Starting each element in its stationary state makes the time-average
+// unavailability of the generated trace an unbiased estimate of p at any
+// horizon, so the analytical bound and the replayed trace speak about the
+// same distribution.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/simnet"
+)
+
+// Outage is one contiguous down interval [From, To) of a network element,
+// in trace seconds.
+type Outage struct {
+	Element placement.Element `json:"element"`
+	From    float64           `json:"from"`
+	To      float64           `json:"to"`
+}
+
+// Trace is a replayable failure trace: per-element outage intervals over a
+// fixed horizon. Outages are sorted by (From, Element) and, per element,
+// disjoint — the constructors guarantee both.
+type Trace struct {
+	// Horizon is the trace length in seconds.
+	Horizon float64
+	// Outages holds every element down interval.
+	Outages []Outage
+}
+
+// TraceConfig parameterizes Generate.
+type TraceConfig struct {
+	// Horizon is the trace length in seconds (required, > 0).
+	Horizon float64
+	// Seed drives all randomness; the same (network, config) pair always
+	// yields the same trace.
+	Seed int64
+	// MTTR is the mean time to repair in seconds (default 10). For an
+	// element with failure probability p the mean time to failure is then
+	// MTTR*(1-p)/p, so the stationary unavailability equals p.
+	MTTR float64
+	// CorrelateNCPLinks, when set, extends every NCP outage to the NCP's
+	// incident links: a dead node takes its attachment down with it
+	// (correlated-group failures). Link unavailability then exceeds the
+	// links' nominal FailProb, which is exactly the model violation the
+	// measured-vs-analytical comparison is meant to expose.
+	CorrelateNCPLinks bool
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.MTTR <= 0 {
+		c.MTTR = 10
+	}
+	return c
+}
+
+// Generate draws a failure trace for every fallible element of net (those
+// with FailProb > 0) from the calibrated renewal model. Elements with
+// FailProb >= 1 are down for the whole horizon.
+func Generate(net *network.Network, cfg TraceConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Horizon <= 0 || math.IsNaN(cfg.Horizon) || math.IsInf(cfg.Horizon, 0) {
+		return nil, fmt.Errorf("chaos: invalid trace horizon %v", cfg.Horizon)
+	}
+	tr := &Trace{Horizon: cfg.Horizon}
+	for v := 0; v < net.NumNCPs(); v++ {
+		e := placement.NCPElement(network.NCPID(v))
+		tr.Outages = append(tr.Outages, renewalOutages(e, net.NCP(network.NCPID(v)).FailProb, cfg)...)
+	}
+	for l := 0; l < net.NumLinks(); l++ {
+		e := placement.LinkElement(net, network.LinkID(l))
+		tr.Outages = append(tr.Outages, renewalOutages(e, net.Link(network.LinkID(l)).FailProb, cfg)...)
+	}
+	if cfg.CorrelateNCPLinks {
+		for _, o := range append([]Outage(nil), tr.Outages...) {
+			if int(o.Element) >= net.NumNCPs() {
+				continue
+			}
+			for _, l := range net.Incident(network.NCPID(o.Element)) {
+				tr.Outages = append(tr.Outages, Outage{
+					Element: placement.LinkElement(net, l), From: o.From, To: o.To,
+				})
+			}
+		}
+	}
+	tr.normalize()
+	return tr, nil
+}
+
+// renewalOutages draws the stationary alternating renewal process of one
+// element. Each element gets its own seeded stream, so a trace is stable
+// under changes to unrelated elements.
+func renewalOutages(e placement.Element, p float64, cfg TraceConfig) []Outage {
+	if p <= 0 {
+		return nil
+	}
+	if p >= 1 {
+		return []Outage{{Element: e, From: 0, To: cfg.Horizon}}
+	}
+	mttr := cfg.MTTR
+	mttf := mttr * (1 - p) / p
+	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(e)+1)*0x5851F42D4C957F2D))
+	// Stationary start: down with probability p. Exponential holding
+	// times are memoryless, so the residual time in the initial state has
+	// the same distribution as a full holding time.
+	down := rng.Float64() < p
+	var out []Outage
+	t := 0.0
+	for t < cfg.Horizon {
+		if down {
+			dur := rng.ExpFloat64() * mttr
+			out = append(out, Outage{Element: e, From: t, To: math.Min(t+dur, cfg.Horizon)})
+			t += dur
+		} else {
+			t += rng.ExpFloat64() * mttf
+		}
+		down = !down
+	}
+	return out
+}
+
+// FromOutages builds a fixed-scenario trace from an explicit outage list:
+// intervals are validated, clamped to the horizon, and per-element
+// overlaps are merged.
+func FromOutages(horizon float64, outages []Outage) (*Trace, error) {
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("chaos: invalid trace horizon %v", horizon)
+	}
+	tr := &Trace{Horizon: horizon}
+	for _, o := range outages {
+		if math.IsNaN(o.From) || math.IsNaN(o.To) || o.From < 0 || o.To <= o.From {
+			return nil, fmt.Errorf("chaos: invalid outage %+v", o)
+		}
+		if o.From >= horizon {
+			continue
+		}
+		o.To = math.Min(o.To, horizon)
+		tr.Outages = append(tr.Outages, o)
+	}
+	tr.normalize()
+	return tr, nil
+}
+
+// normalize merges overlapping or touching per-element intervals and sorts
+// the outage list by (From, Element).
+func (tr *Trace) normalize() {
+	byElem := map[placement.Element][]Outage{}
+	for _, o := range tr.Outages {
+		byElem[o.Element] = append(byElem[o.Element], o)
+	}
+	merged := tr.Outages[:0]
+	for _, os := range byElem {
+		sort.Slice(os, func(i, j int) bool { return os[i].From < os[j].From })
+		cur := os[0]
+		for _, o := range os[1:] {
+			if o.From <= cur.To {
+				cur.To = math.Max(cur.To, o.To)
+				continue
+			}
+			merged = append(merged, cur)
+			cur = o
+		}
+		merged = append(merged, cur)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].From != merged[j].From {
+			return merged[i].From < merged[j].From
+		}
+		return merged[i].Element < merged[j].Element
+	})
+	tr.Outages = merged
+}
+
+// Unavailability returns the fraction of the horizon the element spends
+// down — the quantity the renewal calibration targets at FailProb.
+func (tr *Trace) Unavailability(e placement.Element) float64 {
+	down := 0.0
+	for _, o := range tr.Outages {
+		if o.Element == e {
+			down += o.To - o.From
+		}
+	}
+	return down / tr.Horizon
+}
+
+// Elements returns the distinct elements with at least one outage, sorted.
+func (tr *Trace) Elements() []placement.Element {
+	seen := map[placement.Element]bool{}
+	var out []placement.Element
+	for _, o := range tr.Outages {
+		if !seen[o.Element] {
+			seen[o.Element] = true
+			out = append(out, o.Element)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DowntimeSchedules converts the trace into per-element downtime interval
+// lists in the form simnet.SetDowntime expects (sorted, disjoint), so the
+// exact same trace drives both the scheduler replay and the ground-truth
+// simulation.
+func (tr *Trace) DowntimeSchedules() map[placement.Element][]simnet.Interval {
+	out := map[placement.Element][]simnet.Interval{}
+	for _, o := range tr.Outages {
+		out[o.Element] = append(out[o.Element], simnet.Interval{From: o.From, To: o.To})
+	}
+	for _, ivs := range out {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
+	}
+	return out
+}
+
+// Event is one instant of the trace timeline: the elements failing and the
+// elements recovering at time At, coalesced so simultaneous transitions
+// are handled as a single fluctuation.
+type Event struct {
+	At   float64
+	Down []placement.Element
+	Up   []placement.Element
+}
+
+// Events flattens the trace into its time-ordered transition sequence.
+// Recoveries at or after the horizon are omitted (the run ends first).
+func (tr *Trace) Events() []Event {
+	at := map[float64]*Event{}
+	var times []float64
+	get := func(t float64) *Event {
+		ev, ok := at[t]
+		if !ok {
+			ev = &Event{At: t}
+			at[t] = ev
+			times = append(times, t)
+		}
+		return ev
+	}
+	for _, o := range tr.Outages {
+		ev := get(o.From)
+		ev.Down = append(ev.Down, o.Element)
+		if o.To < tr.Horizon {
+			ev = get(o.To)
+			ev.Up = append(ev.Up, o.Element)
+		}
+	}
+	sort.Float64s(times)
+	out := make([]Event, 0, len(times))
+	for _, t := range times {
+		ev := at[t]
+		sortElements(ev.Down)
+		sortElements(ev.Up)
+		out = append(out, *ev)
+	}
+	return out
+}
+
+func sortElements(es []placement.Element) {
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+}

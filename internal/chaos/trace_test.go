@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/placement"
+	"sparcle/internal/resource"
+	"sparcle/internal/simnet"
+)
+
+// twoBranchNet mirrors the core test topology: src and snk with two
+// independent middle NCPs, so failures of one branch leave a spare.
+func twoBranchNet(t *testing.T, cpu1, cpu2, bw, ncpPf, linkPf float64) *network.Network {
+	t.Helper()
+	b := network.NewBuilder("twobranch")
+	src := b.AddNCP("src", nil, 0)
+	m1 := b.AddNCP("m1", resource.Vector{resource.CPU: cpu1}, ncpPf)
+	m2 := b.AddNCP("m2", resource.Vector{resource.CPU: cpu2}, ncpPf)
+	snk := b.AddNCP("snk", nil, 0)
+	b.AddLink("s1", src, m1, bw, linkPf)
+	b.AddLink("s2", src, m2, bw, linkPf)
+	b.AddLink("m1k", m1, snk, bw, linkPf)
+	b.AddLink("m2k", m2, snk, bw, linkPf)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func ncpElem(t *testing.T, net *network.Network, name string) placement.Element {
+	t.Helper()
+	id, ok := net.NCPIDByName(name)
+	if !ok {
+		t.Fatalf("no NCP %q", name)
+	}
+	return placement.NCPElement(id)
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	// The renewal process is calibrated so time-average unavailability
+	// equals FailProb; over a long horizon the sample mean must land
+	// close to p for every fallible element.
+	const p = 0.05
+	net := twoBranchNet(t, 100, 100, 1e6, p, p)
+	tr, err := Generate(net, TraceConfig{Horizon: 2e5, Seed: 42, MTTR: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Elements() {
+		got := tr.Unavailability(e)
+		if math.Abs(got-p) > 0.015 {
+			t.Errorf("element %v unavailability = %.4f, want %.2f +- 0.015", e, got, p)
+		}
+	}
+	// src and snk have FailProb 0 and must never appear.
+	for _, name := range []string{"src", "snk"} {
+		if tr.Unavailability(ncpElem(t, net, name)) != 0 {
+			t.Errorf("element %s has outages despite FailProb 0", name)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	net := twoBranchNet(t, 100, 100, 1e6, 0.02, 0.05)
+	cfg := TraceConfig{Horizon: 1000, Seed: 7}
+	a, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	cfg.Seed = 8
+	c, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateAlwaysDownElement(t *testing.T) {
+	net := twoBranchNet(t, 100, 100, 1e6, 1, 0)
+	tr, err := Generate(net, TraceConfig{Horizon: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"m1", "m2"} {
+		if got := tr.Unavailability(ncpElem(t, net, name)); got != 1 {
+			t.Errorf("%s unavailability = %v, want 1 for FailProb 1", name, got)
+		}
+	}
+}
+
+func TestGenerateCorrelateNCPLinks(t *testing.T) {
+	// Only NCPs fail; with correlation every NCP outage must cover the
+	// incident links too.
+	net := twoBranchNet(t, 100, 100, 1e6, 0.1, 0)
+	tr, err := Generate(net, TraceConfig{Horizon: 5000, Seed: 3, CorrelateNCPLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := ncpElem(t, net, "m1")
+	m1ID, _ := net.NCPIDByName("m1")
+	incident := net.Incident(m1ID)
+	if len(incident) == 0 {
+		t.Fatal("m1 has no incident links")
+	}
+	down := tr.Unavailability(m1)
+	if down == 0 {
+		t.Fatal("m1 never failed at FailProb 0.1 over 5000s")
+	}
+	for _, l := range incident {
+		le := placement.LinkElement(net, l)
+		if got := tr.Unavailability(le); math.Abs(got-down) > 1e-9 {
+			t.Errorf("incident link %v unavailability = %v, want %v (correlated with m1)", le, got, down)
+		}
+	}
+	// Without correlation the links stay clean.
+	tr2, err := Generate(net, TraceConfig{Horizon: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range incident {
+		if got := tr2.Unavailability(placement.LinkElement(net, l)); got != 0 {
+			t.Errorf("uncorrelated link has unavailability %v, want 0", got)
+		}
+	}
+}
+
+func TestFromOutagesMergesAndClamps(t *testing.T) {
+	e := placement.Element(1)
+	tr, err := FromOutages(100, []Outage{
+		{Element: e, From: 10, To: 20},
+		{Element: e, From: 15, To: 30},   // overlaps the first
+		{Element: e, From: 30, To: 40},   // touches: still one interval
+		{Element: e, From: 90, To: 500},  // clamped to horizon
+		{Element: e, From: 150, To: 160}, // beyond horizon: dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Outage{
+		{Element: e, From: 10, To: 40},
+		{Element: e, From: 90, To: 100},
+	}
+	if !reflect.DeepEqual(tr.Outages, want) {
+		t.Fatalf("outages = %+v, want %+v", tr.Outages, want)
+	}
+	if got := tr.Unavailability(e); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("unavailability = %v, want 0.4", got)
+	}
+}
+
+func TestFromOutagesRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		horizon float64
+		outage  Outage
+	}{
+		{0, Outage{From: 0, To: 1}},
+		{-5, Outage{From: 0, To: 1}},
+		{100, Outage{From: -1, To: 1}},
+		{100, Outage{From: 5, To: 5}},
+		{100, Outage{From: 7, To: 3}},
+		{100, Outage{From: math.NaN(), To: 3}},
+	}
+	for _, c := range cases {
+		if _, err := FromOutages(c.horizon, []Outage{c.outage}); err == nil {
+			t.Errorf("FromOutages(%v, %+v) accepted invalid input", c.horizon, c.outage)
+		}
+	}
+}
+
+func TestEventsCoalesceAndOrder(t *testing.T) {
+	e1, e2 := placement.Element(1), placement.Element(2)
+	tr, err := FromOutages(100, []Outage{
+		{Element: e1, From: 10, To: 50},
+		{Element: e2, From: 10, To: 30},
+		{Element: e1, From: 95, To: 100}, // recovery at horizon: omitted
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	want := []Event{
+		{At: 10, Down: []placement.Element{e1, e2}},
+		{At: 30, Up: []placement.Element{e2}},
+		{At: 50, Up: []placement.Element{e1}},
+		{At: 95, Down: []placement.Element{e1}},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("events = %+v, want %+v", evs, want)
+	}
+}
+
+func TestDowntimeSchedulesFeedSimnet(t *testing.T) {
+	// The schedules must round-trip into simnet.SetDowntime unchanged:
+	// sorted and disjoint per element.
+	net := twoBranchNet(t, 100, 100, 1e6, 0.05, 0.05)
+	tr, err := Generate(net, TraceConfig{Horizon: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.New(net)
+	for e, ivs := range tr.DowntimeSchedules() {
+		if err := sim.SetDowntime(e, ivs); err != nil {
+			t.Fatalf("SetDowntime(%v): %v", e, err)
+		}
+	}
+}

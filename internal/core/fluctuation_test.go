@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"sparcle/internal/network"
@@ -115,5 +117,97 @@ func TestFluctuationValidation(t *testing.T) {
 	}
 	if _, err := s.ApplyFluctuation(ElementScale{placement.NCPElement(network.NCPID(0)): -1}); err == nil {
 		t.Fatal("negative scale must error")
+	}
+}
+
+// TestFluctuationRestoreProperty is a property test for the fluctuation
+// state machine: for ANY sequence of ApplyFluctuation calls — partial
+// scales, full outages (scale 0), overshoots (> 1), mid-sequence
+// restores — a final ApplyFluctuation(nil) must leave the scheduler
+// indistinguishable from a fresh one that replayed only the admissions:
+// identical BE rates and an identical BE capacity pool. This is the
+// contract the chaos driver leans on when it tears the network apart and
+// puts it back together.
+func TestFluctuationRestoreProperty(t *testing.T) {
+	deltaCapsCheck = true
+	defer func() { deltaCapsCheck = false }()
+
+	const trials = 40
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		cpu1 := 50 + rng.Float64()*100
+		cpu2 := 30 + rng.Float64()*100
+		bw := 1e3 + rng.Float64()*1e6
+		build := func() (*Scheduler, *network.Network, []string) {
+			net := twoBranchNet(t, cpu1, cpu2, bw, 0)
+			s := New(net, WithRandSeed(int64(trial)))
+			var names []string
+			if trial%2 == 0 {
+				if _, err := s.Submit(simpleApp(t, "g", net, 10, QoS{
+					Class: GuaranteedRate, MinRate: 1, MinRateAvailability: 0.9, MaxPaths: 1,
+				})); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				name := fmt.Sprintf("b%d", i)
+				if _, err := s.Submit(simpleApp(t, name, net, 5, QoS{
+					Class: BestEffort, Priority: 0.5 + float64(i),
+				})); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				names = append(names, name)
+			}
+			return s, net, names
+		}
+
+		s, net, names := build()
+		elems := net.NumNCPs() + net.NumLinks()
+		steps := 1 + rng.Intn(6)
+		for step := 0; step < steps; step++ {
+			if rng.Intn(5) == 0 {
+				if _, err := s.ApplyFluctuation(nil); err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+				continue
+			}
+			scale := ElementScale{}
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				var f float64
+				switch rng.Intn(3) {
+				case 0:
+					f = 0 // hard outage
+				case 1:
+					f = rng.Float64() // degradation
+				default:
+					f = 1 + rng.Float64()*0.5 // overshoot
+				}
+				scale[placement.Element(rng.Intn(elems))] = f
+			}
+			if _, err := s.ApplyFluctuation(scale); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+		if _, err := s.ApplyFluctuation(nil); err != nil {
+			t.Fatalf("trial %d final restore: %v", trial, err)
+		}
+
+		fresh, _, _ := build()
+		freshRates := map[string]float64{}
+		for _, pa := range fresh.BEApps() {
+			freshRates[pa.App.Name] = pa.TotalRate()
+		}
+		for _, pa := range s.BEApps() {
+			want := freshRates[pa.App.Name]
+			if got := pa.TotalRate(); math.Abs(got-want) > 1e-6*math.Max(1, want) {
+				t.Fatalf("trial %d: BE rate %q = %v after restore, want %v", trial, pa.App.Name, got, want)
+			}
+		}
+		if len(s.BEApps()) != len(names) {
+			t.Fatalf("trial %d: %d BE apps after restore, want %d", trial, len(s.BEApps()), len(names))
+		}
+		if err := capsApproxEqual(s.BEAvailableCapacities(), fresh.BEAvailableCapacities(), 1e-9); err != nil {
+			t.Fatalf("trial %d: BE pool after restore: %v", trial, err)
+		}
 	}
 }

@@ -71,9 +71,15 @@ func (s *Scheduler) repair(name string) (*PlacedApp, error) {
 	repaired, err := s.submitGR(old.App)
 	if err != nil {
 		// Restore the previous (violated) placement so the operator
-		// keeps whatever service remains.
+		// keeps whatever service remains. The failed attempt released and
+		// re-reserved capacity around the warm solver's back, so its
+		// incremental state can no longer be trusted to describe the
+		// restored pool: drop it and solve cold. Keeping a stale warm
+		// solver here would let a later fluctuation warm-start from
+		// constraint rows that never matched the rolled-back capacities.
 		s.gr = append(s.gr, old)
 		s.reserveGR(old)
+		s.dropSolver()
 		if reallocErr := s.reallocateBE(); reallocErr != nil {
 			return nil, fmt.Errorf("core: repair rollback failed: %w", reallocErr)
 		}

@@ -535,3 +535,53 @@ func TestChurnShapes(t *testing.T) {
 	}
 	mustRenderTable(t, res.Table(), "churn")
 }
+
+func TestChaosShapes(t *testing.T) {
+	cfg := Config{Trials: 2, Seed: 1}
+	res, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 MTTRs x 2 classes)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Apps == 0 || row.Bound <= 0 || row.Bound > 1 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		switch row.Class {
+		case "guaranteed-rate":
+			// The self-healing loop must deliver at least the analytical
+			// admission bound (it typically beats it by a wide margin) and
+			// never do worse than freezing the placement.
+			if row.Healed < row.Bound-0.02 {
+				t.Fatalf("mttr=%v: self-healed %v below bound %v", row.MTTR, row.Healed, row.Bound)
+			}
+			if row.Healed < row.Static-1e-9 {
+				t.Fatalf("mttr=%v: self-healed %v below static replay %v", row.MTTR, row.Healed, row.Static)
+			}
+			if row.Repairs == 0 {
+				t.Fatalf("mttr=%v: no repairs despite injected failures", row.MTTR)
+			}
+		case "best-effort":
+			// BE apps are never repaired: the measured timelines coincide.
+			if row.Repairs != 0 || !approx(row.Healed, row.Static, 1e-9) {
+				t.Fatalf("BE row %+v: expected untouched static timeline", row)
+			}
+		default:
+			t.Fatalf("unknown class %q", row.Class)
+		}
+	}
+	if res.Fluctuations == 0 || res.RepairAttempts == 0 {
+		t.Fatal("no control-plane activity recorded")
+	}
+	// Fixed-seed reproducibility of the full report.
+	again, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table().String() != again.Table().String() {
+		t.Fatal("chaos report is not reproducible at a fixed seed")
+	}
+	mustRenderTable(t, res.Table(), "Chaos")
+}

@@ -255,6 +255,34 @@ func (t *Tracer) Fluctuation(e FluctuationEvent) {
 	t.emit(&e)
 }
 
+// ChaosEvent records one step of the chaos engine's timeline: a failure
+// injection, a recovery, a self-healing repair attempt, a give-up into
+// the degraded state, a requeue on recovery, or a heal (a pending repair
+// canceled because recovery restored the guarantee first).
+type ChaosEvent struct {
+	Header
+	// Kind is "inject", "recover", "repair", "give-up", "requeue" or
+	// "heal".
+	Kind string `json:"kind"`
+	// At is the trace time of the event, in seconds.
+	At float64 `json:"at"`
+	// Elements counts the elements transitioning (inject/recover).
+	Elements int `json:"elements,omitempty"`
+	// Attempt is the 1-based attempt number within a repair episode.
+	Attempt int `json:"attempt,omitempty"`
+	// Backoff is the delay scheduled before the next attempt, seconds.
+	Backoff float64 `json:"backoff,omitempty"`
+	// Outcome is "repaired" or "failed" for repair events.
+	Outcome string `json:"outcome,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// Chaos records a chaos-engine event.
+func (t *Tracer) Chaos(e ChaosEvent) {
+	e.Type = "chaos"
+	t.emit(&e)
+}
+
 // ReadEvents decodes a JSONL trace back into generic per-line maps, for
 // tests and ad-hoc analysis tools.
 func ReadEvents(r io.Reader) ([]map[string]any, error) {

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/resource"
+)
+
+// FuzzSubmitDecode drives the POST /apps decoder end to end with
+// arbitrary bodies: the handler must never panic (the recovery
+// middleware counts panics, and a fuzz input that trips it fails here),
+// must always answer with a well-formed JSON object, and must only use
+// the statuses the API documents for submission.
+func FuzzSubmitDecode(f *testing.F) {
+	b := network.NewBuilder("fuzz")
+	src := b.AddNCP("src", nil, 0)
+	mid := b.AddNCP("mid", resource.Vector{resource.CPU: 100}, 0)
+	snk := b.AddNCP("snk", nil, 0)
+	b.AddLink("l0", src, mid, 1e6, 0)
+	b.AddLink("l1", mid, snk, 1e6, 0)
+	net, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(appJSON("a", "be", `, "priority": 1`))
+	f.Add(appJSON("g", "gr", `, "minRate": 1, "minRateAvailability": 0.5`))
+	f.Add(`{}`)
+	f.Add(`{"name":"x"}`)
+	f.Add(`{"name":"x","cts":[{"name":"c","host":"nowhere"}]}`)
+	f.Add(`{"name":"x","unknown":true}`)
+	f.Add(`not json`)
+	f.Add(`{"name":"x","cts":[{"name":"c","req":{"cpu":-1}}]}`)
+	f.Add(`[1,2,3]`)
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// Fresh server per input: submissions mutate scheduler state, and
+		// a shared one would make failures depend on the corpus order.
+		srv := New(net)
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/apps", strings.NewReader(body))
+		srv.Handler().ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusCreated, http.StatusBadRequest, http.StatusConflict:
+		default:
+			t.Fatalf("POST /apps -> %d (undocumented status) for body %q", rec.Code, body)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+			t.Fatalf("non-JSON response %q: %v", rec.Body.String(), err)
+		}
+		if rec.Code != http.StatusCreated {
+			if _, ok := parsed["error"]; !ok {
+				t.Fatalf("error response without error field: %q", rec.Body.String())
+			}
+		}
+		if got := srv.metrics.Snapshot()["sparcle_http_panics_total"]; len(got.Series) != 0 {
+			t.Fatalf("handler panicked on body %q", body)
+		}
+	})
+}

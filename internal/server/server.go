@@ -69,7 +69,9 @@ func (s *Server) Metrics() *obs.Registry {
 
 // Handler returns the HTTP handler implementing the API. Every request is
 // counted in sparcle_http_requests_total (labeled by method) and in the
-// cumulative total reported by /healthz.
+// cumulative total reported by /healthz, and handler panics are converted
+// into 500 responses (counted in sparcle_http_panics_total) instead of
+// tearing down the connection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -81,10 +83,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /apps/{name}", s.handleRemove)
 	mux.HandleFunc("POST /apps/{name}/repair", s.handleRepair)
 	mux.HandleFunc("POST /fluctuation", s.handleFluctuation)
+	return s.middleware(mux)
+}
+
+// middleware wraps next with request counting and panic recovery. A
+// panicking handler answers 500 with a JSON error body; the panic value is
+// not echoed (it may hold internals), only counted and summarized.
+func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The sentinel asks for exactly the abort behaviour.
+				panic(rec)
+			}
+			s.metrics.Counter("sparcle_http_panics_total").Inc()
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+		}()
 		s.requests.Add(1)
 		s.metrics.Counter("sparcle_http_requests_total", obs.L("method", r.Method)).Inc()
-		mux.ServeHTTP(w, r)
+		next.ServeHTTP(w, r)
 	})
 }
 

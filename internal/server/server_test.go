@@ -261,3 +261,81 @@ func TestConcurrentRequests(t *testing.T) {
 		t.Error(e)
 	}
 }
+
+// TestPanicRecoveryMiddleware pins that a panicking handler answers 500
+// with a JSON error, increments sparcle_http_panics_total, and leaves the
+// server able to serve the next request.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	b := network.NewBuilder("t")
+	b.AddNCP("a", nil, 0)
+	netw, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(netw)
+	calls := 0
+	h := s.middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			panic("boom: secret internals")
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if strings.Contains(body.Error, "secret") {
+		t.Fatalf("panic value leaked to the client: %q", body.Error)
+	}
+
+	// The server survives: the next request succeeds.
+	resp2, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("post-panic status = %d, want 204", resp2.StatusCode)
+	}
+
+	snap := s.Metrics().Snapshot()
+	fam := snap["sparcle_http_panics_total"]
+	if len(fam.Series) != 1 || *fam.Series[0].Value != 1 {
+		t.Fatalf("sparcle_http_panics_total = %+v, want a single series at 1", fam)
+	}
+}
+
+// TestPanicRecoveryPreservesAbort pins that http.ErrAbortHandler keeps its
+// contract: the middleware re-panics instead of answering 500.
+func TestPanicRecoveryPreservesAbort(t *testing.T) {
+	b := network.NewBuilder("t")
+	b.AddNCP("a", nil, 0)
+	netw, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(netw)
+	h := s.middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if _, err := http.Get(ts.URL + "/"); err == nil {
+		t.Fatal("aborted handler must surface as a transport error, not a response")
+	}
+	if fam := s.Metrics().Snapshot()["sparcle_http_panics_total"]; len(fam.Series) != 0 {
+		t.Fatalf("abort counted as panic: %+v", fam)
+	}
+}

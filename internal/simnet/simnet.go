@@ -34,8 +34,15 @@ type Config struct {
 	// Warmup discards completions before this time (seconds) from the
 	// throughput and latency statistics.
 	Warmup float64
-	// MaxEvents aborts runaway simulations; 0 means 20 million events.
+	// MaxEvents aborts runaway simulations (e.g. an input rate above the
+	// bottleneck, whose queues grow without bound). 0 selects the default
+	// of 20 million events; negative values are rejected by Run.
 	MaxEvents int
+	// RecordCompletions, when set, records every delivered data unit's
+	// completion time in AppStats.CompletionTimes (within the measurement
+	// window), so callers can compute windowed delivered rates — e.g. the
+	// chaos experiments' delivered-availability measurement.
+	RecordCompletions bool
 }
 
 func (c Config) validate() error {
@@ -44,6 +51,9 @@ func (c Config) validate() error {
 	}
 	if c.Warmup < 0 || c.Warmup >= c.Duration {
 		return fmt.Errorf("simnet: Warmup %v outside [0, Duration)", c.Warmup)
+	}
+	if c.MaxEvents < 0 {
+		return fmt.Errorf("simnet: MaxEvents %d must be >= 0 (0 selects the 20M default)", c.MaxEvents)
 	}
 	return nil
 }
@@ -159,6 +169,10 @@ type AppStats struct {
 	// Together with Throughput and MeanLatency it lets callers check
 	// Little's law (L = lambda * W).
 	MeanInFlight float64
+	// CompletionTimes holds the delivery time of every unit counted in
+	// Completed, sorted ascending. Populated only when
+	// Config.RecordCompletions is set.
+	CompletionTimes []float64
 }
 
 // ElementStats reports per-element aggregates.
@@ -311,18 +325,19 @@ func (s *Sim) Run(cfg Config) (*Report, error) {
 	}
 
 	st := &runState{
-		sim:       s,
-		cfg:       cfg,
-		servers:   servers,
-		pending:   map[joinKey]int{},
-		emitTimes: map[unitKey]float64{},
-		latencies: make([][]float64, len(s.apps)),
-		completed: make([]int, len(s.apps)),
-		maxQ:      make([]int, len(s.apps)),
-		inFlight:  make([]int, len(s.apps)),
-		flightT:   make([]float64, len(s.apps)),
-		flightSum: make([]float64, len(s.apps)),
-		nextUnit:  make([]int64, len(s.apps)),
+		sim:         s,
+		cfg:         cfg,
+		servers:     servers,
+		pending:     map[joinKey]int{},
+		emitTimes:   map[unitKey]float64{},
+		latencies:   make([][]float64, len(s.apps)),
+		completed:   make([]int, len(s.apps)),
+		completions: make([][]float64, len(s.apps)),
+		maxQ:        make([]int, len(s.apps)),
+		inFlight:    make([]int, len(s.apps)),
+		flightT:     make([]float64, len(s.apps)),
+		flightSum:   make([]float64, len(s.apps)),
+		nextUnit:    make([]int64, len(s.apps)),
 	}
 	for ai, app := range s.apps {
 		if app.window > 0 {
@@ -388,8 +403,11 @@ type runState struct {
 
 	latencies [][]float64
 	completed []int
-	maxQ      []int
-	seq       int64
+	// completions records delivery times per app (events are processed in
+	// time order, so each slice is sorted). Only when RecordCompletions.
+	completions [][]float64
+	maxQ        []int
+	seq         int64
 
 	// Little's-law accounting per app: time integral of the in-flight
 	// population.
@@ -595,6 +613,9 @@ func (st *runState) complete(h *eventHeap, appIdx int, unit int64, at float64) {
 	}
 	st.completed[appIdx]++
 	st.latencies[appIdx] = append(st.latencies[appIdx], at-emitted)
+	if st.cfg.RecordCompletions {
+		st.completions[appIdx] = append(st.completions[appIdx], at)
+	}
 }
 
 func (st *runState) report() *Report {
@@ -609,10 +630,11 @@ func (st *runState) report() *Report {
 		st.noteFlight(ai, st.cfg.Duration, 0)
 		lat := st.latencies[ai]
 		stats := AppStats{
-			Completed:    st.completed[ai],
-			Throughput:   float64(st.completed[ai]) / window,
-			MaxQueueLen:  st.maxQ[ai],
-			MeanInFlight: st.flightSum[ai] / st.cfg.Duration,
+			Completed:       st.completed[ai],
+			Throughput:      float64(st.completed[ai]) / window,
+			MaxQueueLen:     st.maxQ[ai],
+			MeanInFlight:    st.flightSum[ai] / st.cfg.Duration,
+			CompletionTimes: st.completions[ai],
 		}
 		if len(lat) > 0 {
 			sum := 0.0

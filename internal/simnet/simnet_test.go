@@ -3,6 +3,7 @@ package simnet
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sparcle/internal/assign"
@@ -414,5 +415,63 @@ func TestClosedLoopValidation(t *testing.T) {
 	incomplete := placement.New(p.Graph, net)
 	if err := sim.AddAppClosedLoop(incomplete, 4); err == nil {
 		t.Fatal("incomplete placement must error")
+	}
+}
+
+func TestNegativeMaxEventsRejected(t *testing.T) {
+	net, p, _ := pipeline(t, 100, 1000)
+	sim := New(net)
+	if err := sim.AddApp(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sim.Run(Config{Duration: 10, MaxEvents: -1})
+	if err == nil {
+		t.Fatal("negative MaxEvents must be rejected")
+	}
+	if !strings.Contains(err.Error(), "MaxEvents") {
+		t.Fatalf("error %q should name MaxEvents", err)
+	}
+	// Zero still selects the documented 20M default, i.e. runs fine.
+	if _, err := sim.Run(Config{Duration: 10, MaxEvents: 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordCompletions(t *testing.T) {
+	net, p, bottleneck := pipeline(t, 100, 1000)
+	sim := New(net)
+	rate := bottleneck * 0.5
+	if err := sim.AddApp(p, rate); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Config{Duration: 100, Warmup: 10, RecordCompletions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Apps[0]
+	if len(st.CompletionTimes) != st.Completed {
+		t.Fatalf("recorded %d completion times for %d completions", len(st.CompletionTimes), st.Completed)
+	}
+	if st.Completed == 0 {
+		t.Fatal("expected completions")
+	}
+	last := 10.0 // warmup boundary: earlier completions are excluded
+	for _, ct := range st.CompletionTimes {
+		if ct < last-1e-12 {
+			t.Fatalf("completion times not sorted or inside warmup: %v after %v", ct, last)
+		}
+		last = ct
+	}
+	if last > 100+1e-12 {
+		t.Fatalf("completion past horizon: %v", last)
+	}
+
+	// Off by default: no allocation.
+	rep, err = sim.Run(Config{Duration: 100, Warmup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Apps[0].CompletionTimes != nil {
+		t.Fatal("CompletionTimes must stay nil without RecordCompletions")
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"sparcle/internal/assign"
+	"sparcle/internal/chaos"
 	"sparcle/internal/core"
 	"sparcle/internal/network"
 	"sparcle/internal/obs"
@@ -274,3 +275,56 @@ func NewSimulator(net *Network) *Simulator { return simnet.New(net) }
 // NewRand returns a deterministic random source for the helpers that take
 // one; the library never uses global randomness.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Chaos engineering (see internal/chaos): calibrated failure-trace
+// generation, injection with a self-healing repair loop, and
+// measured-vs-analytical availability.
+type (
+	// FailureTrace is a replayable per-element outage schedule.
+	FailureTrace = chaos.Trace
+	// FailureTraceConfig parameterizes GenerateFailureTrace.
+	FailureTraceConfig = chaos.TraceConfig
+	// Outage is one element down interval of a FailureTrace.
+	Outage = chaos.Outage
+	// ChaosPolicy bounds the self-healing loop: repair attempts per
+	// episode, exponential backoff with jitter, and the repair-storm
+	// budget.
+	ChaosPolicy = chaos.Policy
+	// ChaosDriver replays a FailureTrace against a Scheduler and heals
+	// violated guarantees.
+	ChaosDriver = chaos.Driver
+	// ChaosResult is the measured outcome of a chaos run.
+	ChaosResult = chaos.Result
+	// ChaosOption configures a ChaosDriver.
+	ChaosOption = chaos.Option
+)
+
+// GenerateFailureTrace draws a failure trace for every fallible element of
+// net from the alternating renewal process calibrated so each element's
+// time-average unavailability equals its FailProb.
+func GenerateFailureTrace(net *Network, cfg FailureTraceConfig) (*FailureTrace, error) {
+	return chaos.Generate(net, cfg)
+}
+
+// FailureTraceFromOutages builds a fixed-scenario trace from an explicit
+// outage list.
+func FailureTraceFromOutages(horizon float64, outages []Outage) (*FailureTrace, error) {
+	return chaos.FromOutages(horizon, outages)
+}
+
+// NewChaosDriver returns a driver replaying failure traces against sched
+// under policy.
+func NewChaosDriver(sched *Scheduler, policy ChaosPolicy, opts ...ChaosOption) *ChaosDriver {
+	return chaos.NewDriver(sched, policy, opts...)
+}
+
+// WithChaosMetrics publishes the driver's failure/repair/availability
+// metrics into reg.
+func WithChaosMetrics(reg *MetricsRegistry) ChaosOption { return chaos.WithMetrics(reg) }
+
+// WithChaosTracer streams every injection, recovery and repair attempt to
+// tr as chaos decision events.
+func WithChaosTracer(tr *DecisionTracer) ChaosOption { return chaos.WithTracer(tr) }
+
+// WithChaosLogger attaches a structured logger to the chaos driver.
+func WithChaosLogger(l *slog.Logger) ChaosOption { return chaos.WithLogger(l) }
