@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while the server goroutine
+// is still writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServer runs the server with args in a goroutine and waits until it
+// is listening, returning the bound address and the channel run's error
+// will arrive on.
+func startServer(t *testing.T, out *syncBuffer, args ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(args, out, ready) }()
+	select {
+	case addr := <-ready:
+		return addr, errc
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	panic("unreachable")
+}
+
+// TestServerJournalRecovery boots the server with -journal and -submit,
+// stops it, and restarts over the same journal directory without -submit:
+// the scenario's applications must come back from snapshot + replay, and
+// the second boot must report a non-zero recovered sequence.
+func TestServerJournalRecovery(t *testing.T) {
+	path := writeExample(t)
+	dir := filepath.Join(t.TempDir(), "journal")
+
+	var out1 syncBuffer
+	addr, errc := startServer(t, &out1,
+		"-f", path, "-addr", "127.0.0.1:0", "-submit", "-journal", dir)
+
+	resp, err := http.Get("http://" + addr + "/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	before.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(before.String(), "face-detection") {
+		t.Fatalf("scenario app missing before restart: %s", before.String())
+	}
+	if !strings.Contains(out1.String(), "recovered to seq 0") {
+		t.Fatalf("first boot should start from an empty journal: %s", out1.String())
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGINT")
+	}
+
+	// Second boot: no -submit, the apps must come back from the journal.
+	var out2 syncBuffer
+	addr2, errc2 := startServer(t, &out2,
+		"-f", path, "-addr", "127.0.0.1:0", "-journal", dir)
+
+	if !strings.Contains(out2.String(), "recovered to seq 1") {
+		t.Fatalf("second boot did not replay the batch record: %s", out2.String())
+	}
+	resp2, err := http.Get("http://" + addr2 + "/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	after.ReadFrom(resp2.Body)
+	resp2.Body.Close()
+	if after.String() != before.String() {
+		t.Fatalf("recovered /apps differs\nbefore: %s\nafter:  %s", before.String(), after.String())
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc2:
+		if err != nil {
+			t.Fatalf("second shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second server did not drain after SIGINT")
+	}
+}
+
+// TestServerJournalBadPolicy rejects an unknown -journal-fsync value.
+func TestServerJournalBadPolicy(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-f", writeExample(t), "-addr", "127.0.0.1:0",
+		"-journal", t.TempDir(), "-journal-fsync", "sometimes",
+	}, &out, nil)
+	if err == nil || !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("bad fsync policy accepted: %v", err)
+	}
+}

@@ -6,11 +6,15 @@
 //
 // Usage:
 //
-//	sparcle-server -f scenario.json [-addr :8080] [-submit] [-pprof] [-v]
+//	sparcle-server -f scenario.json [-addr :8080] [-submit] [-journal dir] [-pprof] [-v]
 //
 // With -submit, the scenario's applications are admitted at startup. With
-// -pprof, the net/http/pprof profiling handlers are mounted under
-// /debug/pprof/. With -v, scheduler activity is logged to stderr.
+// -journal, every mutating operation is committed to a write-ahead
+// journal in the given directory before it is acknowledged, and a restart
+// recovers the exact pre-crash scheduler from snapshot + replay (see
+// docs/durability.md). With -pprof, the net/http/pprof profiling handlers
+// are mounted under /debug/pprof/. With -v, scheduler activity is logged
+// to stderr.
 //
 // API summary (see internal/server for details):
 //
@@ -20,6 +24,7 @@
 //	GET    /network
 //	GET    /apps
 //	POST   /apps                  body: one scenario app spec
+//	POST   /apps/batch            body: {"apps": [spec, ...]}, one atomic batch
 //	DELETE /apps/{name}
 //	POST   /apps/{name}/repair
 //	POST   /fluctuation           body: {"scale": {"ncp:<name>": 0.5}}
@@ -41,6 +46,7 @@ import (
 	"time"
 
 	"sparcle/internal/core"
+	"sparcle/internal/journal"
 	"sparcle/internal/obs"
 	"sparcle/internal/scenario"
 	"sparcle/internal/server"
@@ -66,6 +72,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	parallel := fs.Int("parallel", 0, "candidate-scoring goroutines per ranking iteration (0 = GOMAXPROCS, 1 = serial)")
 	coldAlloc := fs.Bool("cold-alloc", false, "disable warm-started incremental BE solves (ablation; identical results)")
 	noDeltaCaps := fs.Bool("no-delta-caps", false, "disable delta BE capacity accounting (ablation; identical results)")
+	journalDir := fs.String("journal", "", "directory for the write-ahead operation journal (empty = not durable)")
+	journalFsync := fs.String("journal-fsync", "always", "journal fsync policy: always, interval, or never")
+	journalFsyncInterval := fs.Duration("journal-fsync-interval", 100*time.Millisecond, "flush period for -journal-fsync=interval")
+	snapshotEvery := fs.Int("snapshot-every", 256, "journal records between snapshots (0 = only the genesis snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +106,21 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
 	}
 	srv := server.New(netw, opts...)
+	if *journalDir != "" {
+		policy, err := journal.ParsePolicy(*journalFsync)
+		if err != nil {
+			return err
+		}
+		if err := srv.EnableJournal(*journalDir, journal.Options{
+			Fsync:         policy,
+			FsyncInterval: *journalFsyncInterval,
+		}, *snapshotEvery); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "sparcle-server journal at %s (fsync=%s), recovered to seq %d\n",
+			*journalDir, policy, srv.Journal().LastSeq())
+	}
 	if *submit {
 		apps, err := f.BuildApps(netw)
 		if err != nil {

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sparcle/internal/obs"
+)
+
+// BatchResult is one application's verdict from SubmitBatch.
+type BatchResult struct {
+	Name string
+	// App is the placed application, nil when rejected.
+	App *PlacedApp
+	// Err is the per-app admission error (wrapping ErrRejected), nil when
+	// admitted.
+	Err error
+}
+
+// SubmitBatch admits K applications as one operation: each is placed
+// sequentially through the normal admission pipeline (so later apps see
+// earlier apps' reservations), but the Best-Effort allocation is
+// reconciled once at the end — a single solver AddFlows insertion and a
+// single solve, instead of K of each.
+//
+// Per-app rejections are reported in the results and do not fail the
+// batch. If the final allocation solve fails, every admission in the
+// batch is rolled back and the batch-level error is returned: the
+// scheduler never keeps a half-allocated batch. The whole outcome is
+// journaled as ONE record, so recovery cannot observe a half-admitted
+// batch either.
+func (s *Scheduler) SubmitBatch(apps []App) ([]BatchResult, error) {
+	if s.batching {
+		return nil, errors.New("core: nested SubmitBatch")
+	}
+	results := make([]BatchResult, len(apps))
+	s.batching = true
+	for i, app := range apps {
+		pa, err := s.submit(app)
+		results[i] = BatchResult{Name: app.Name, App: pa, Err: err}
+	}
+	s.batching = false
+
+	var batchErr error
+	if err := s.reallocateBE(); err != nil {
+		batchErr = s.failBatch(results, err)
+	} else {
+		// The deferred zero-rate check: a batch BE app whose solved rate
+		// is zero would have been rejected by a sequential Submit, so
+		// evict it now. Eviction frees capacity, which can only raise the
+		// others' rates, but re-check until a pass is clean anyway.
+		for s.evictZeroRate(results) {
+			if err := s.reallocateBE(); err != nil {
+				batchErr = s.failBatch(results, err)
+				break
+			}
+		}
+	}
+	s.observeBatch(results)
+
+	rec := &Record{Op: OpBatch, Outcome: "ok"}
+	if batchErr != nil {
+		rec.Outcome = "error"
+		rec.Reason = batchErr.Error()
+	}
+	for i := range results {
+		entry := BatchRecordEntry{Name: results[i].Name, Outcome: submitOutcome(results[i].Err)}
+		if results[i].Err != nil {
+			entry.Reason = results[i].Err.Error()
+		} else {
+			st, err := exportApp(results[i].App)
+			if err != nil {
+				return results, fmt.Errorf("%w: %v", ErrDurability, err)
+			}
+			entry.App = &st
+		}
+		rec.Batch = append(rec.Batch, entry)
+	}
+	if cerr := s.commitRecord(rec); cerr != nil {
+		return results, cerr
+	}
+	return results, batchErr
+}
+
+// failBatch rolls the whole batch back and marks every admitted entry
+// rejected.
+func (s *Scheduler) failBatch(results []BatchResult, cause error) error {
+	s.rollbackBatch(results)
+	for i := range results {
+		if results[i].Err == nil {
+			results[i].App = nil
+			results[i].Err = fmt.Errorf("core: %w: batch allocation failed", ErrRejected)
+		}
+	}
+	return fmt.Errorf("core: batch allocation failed, batch rolled back: %w", cause)
+}
+
+// rollbackBatch structurally withdraws every admitted app of the batch,
+// newest first, and re-solves for the surviving population.
+func (s *Scheduler) rollbackBatch(results []BatchResult) {
+	for i := len(results) - 1; i >= 0; i-- {
+		pa := results[i].App
+		if pa == nil || results[i].Err != nil {
+			continue
+		}
+		switch pa.App.QoS.Class {
+		case GuaranteedRate:
+			for j := len(s.gr) - 1; j >= 0; j-- {
+				if s.gr[j] == pa {
+					s.gr = append(s.gr[:j], s.gr[j+1:]...)
+					s.releaseGR(pa)
+					break
+				}
+			}
+		case BestEffort:
+			for j := len(s.be) - 1; j >= 0; j-- {
+				if s.be[j] == pa {
+					s.be = append(s.be[:j], s.be[j+1:]...)
+					delete(s.footprints, pa)
+					break
+				}
+			}
+		}
+	}
+	// Best effort: the rollback solve re-rates the survivors. If it fails
+	// the pool is still correct; rates are stale until the next solve.
+	_ = s.reallocateBE()
+}
+
+// evictZeroRate withdraws batch BE admissions whose solved rate is zero,
+// marking them rejected, and reports whether any were evicted.
+func (s *Scheduler) evictZeroRate(results []BatchResult) bool {
+	evicted := false
+	for i := range results {
+		pa := results[i].App
+		if pa == nil || results[i].Err != nil || pa.App.QoS.Class != BestEffort || pa.TotalRate() > 0 {
+			continue
+		}
+		for j := len(s.be) - 1; j >= 0; j-- {
+			if s.be[j] == pa {
+				s.be = append(s.be[:j], s.be[j+1:]...)
+				delete(s.footprints, pa)
+				break
+			}
+		}
+		results[i].App = nil
+		results[i].Err = fmt.Errorf("core: BE app %q: %w: allocated rate is zero", pa.App.Name, ErrRejected)
+		evicted = true
+	}
+	return evicted
+}
+
+// observeBatch emits per-app admission telemetry for a finished batch,
+// mirroring what sequential Submits would have recorded.
+func (s *Scheduler) observeBatch(results []BatchResult) {
+	if !s.telemetryOn() {
+		return
+	}
+	for i := range results {
+		var class string
+		if results[i].App != nil {
+			class = results[i].App.App.QoS.Class.String()
+		}
+		outcome := submitOutcome(results[i].Err)
+		if s.metrics != nil && class != "" {
+			s.metrics.Counter(metricAdmissions, obs.L("class", class), obs.L("outcome", outcome)).Inc()
+		}
+		if results[i].Err != nil {
+			s.log.Warn("admission refused", "app", results[i].Name, "outcome", outcome, "err", results[i].Err)
+		} else {
+			s.log.Info("application admitted", "app", results[i].Name, "class", class,
+				"paths", len(results[i].App.Paths), "rate", results[i].App.TotalRate())
+		}
+	}
+	if s.metrics != nil {
+		s.syncAppMetrics()
+	}
+}

@@ -123,9 +123,11 @@ func WithDefaultMaxPaths(n int) Option {
 }
 
 // WithRandSeed seeds the scheduler's internal randomness (Monte-Carlo
-// availability fallback). The default seed is 1.
+// availability fallback). The default seed is 1. The seed is part of the
+// scheduler's durable state: recovery re-seeds from it and fast-forwards
+// to the journaled draw count.
 func WithRandSeed(seed int64) Option {
-	return func(s *Scheduler) { s.rng = rand.New(rand.NewSource(seed)) }
+	return func(s *Scheduler) { s.setRandSeed(seed, 0) }
 }
 
 // WithAllocOptions overrides the proportional-fair solver options.
@@ -231,6 +233,10 @@ type Scheduler struct {
 	allocOpt        alloc.Options
 	availSamples    int
 	rng             *rand.Rand
+	// rngSrc counts source-level draws and rngSeed remembers the seed, so
+	// the RNG position is persistable as (seed, draws); see durable.go.
+	rngSrc  *countedSource
+	rngSeed int64
 
 	failProbs avail.FailProbs
 
@@ -286,6 +292,13 @@ type Scheduler struct {
 	diversityBias float64
 	// parallel bounds SPARCLE's candidate-scoring workers (0 = GOMAXPROCS).
 	parallel int
+
+	// commit, when set, persists a Record for every mutating operation
+	// before the operation returns (see durable.go).
+	commit CommitHook
+	// batching defers best-effort re-allocation during SubmitBatch so a
+	// K-app batch reconciles the solver once.
+	batching bool
 }
 
 // New returns a Scheduler over net.
@@ -295,13 +308,13 @@ func New(net *network.Network, opts ...Option) *Scheduler {
 		alg:             assign.Sparcle{},
 		defaultMaxPaths: 4,
 		availSamples:    100000,
-		rng:             rand.New(rand.NewSource(1)),
 		beAvailable:     net.BaseCapacities(),
 		diversityBias:   1,
 		log:             obs.NopLogger(),
 		published:       map[string]Class{},
 		footprints:      map[*PlacedApp]alloc.Footprint{},
 	}
+	s.setRandSeed(1, 0)
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -432,7 +445,32 @@ func (s *Scheduler) TotalGRRate() float64 {
 // and resource allocation. It returns the placed application, or an error
 // wrapping ErrRejected when the QoE cannot be met (the scheduler state is
 // then unchanged).
+//
+// When a durability hook is installed, the decision — including
+// rejections, which consume RNG draws and re-solve BE rates, so they are
+// state-visible — is committed to the journal before Submit returns; a
+// commit failure surfaces as ErrDurability alongside the placed app.
 func (s *Scheduler) Submit(app App) (*PlacedApp, error) {
+	pa, err := s.submitObserved(app)
+	rec := &Record{Op: OpAdmit, Outcome: submitOutcome(err), Name: app.Name}
+	if err != nil {
+		rec.Reason = err.Error()
+	} else {
+		st, exportErr := exportApp(pa)
+		if exportErr != nil {
+			return pa, fmt.Errorf("%w: %v", ErrDurability, exportErr)
+		}
+		rec.App = &st
+	}
+	if cerr := s.commitRecord(rec); cerr != nil {
+		return pa, cerr
+	}
+	return pa, err
+}
+
+// submitObserved is Submit's admission pipeline plus telemetry, without
+// the durability commit.
+func (s *Scheduler) submitObserved(app App) (*PlacedApp, error) {
 	if !s.telemetryOn() {
 		return s.submit(app)
 	}
@@ -527,6 +565,11 @@ func (s *Scheduler) submitGR(app App) (*PlacedApp, error) {
 			prev := s.beAvailable
 			s.gr = append(s.gr, pa)
 			s.beAvailable = residual
+			if s.batching {
+				// SubmitBatch re-allocates once at the end; a starving
+				// batch rolls back wholesale there.
+				return pa, nil
+			}
 			// GR admission shrinks the BE capacity pool: re-allocate.
 			if err := s.reallocateBE(); err != nil {
 				// Roll back the reservation rather than leave BE apps
@@ -611,6 +654,11 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 
 	pa := &PlacedApp{App: app, Paths: paths, Availability: achieved}
 	s.be = append(s.be, pa)
+	if s.batching {
+		// SubmitBatch solves once at the end; its zero-rate check runs
+		// there, after the rates exist.
+		return pa, nil
+	}
 	if err := s.reallocateBE(); err != nil || pa.TotalRate() <= 0 {
 		s.be = s.be[:len(s.be)-1]
 		if reallocErr := s.reallocateBE(); reallocErr != nil {
@@ -753,20 +801,32 @@ func (s *Scheduler) incrementalSolve() (alloc.Stats, error) {
 			delete(s.beFlowIDs, pa)
 		}
 	}
+	// All missing apps' flows go in through one AddFlows call (ids come
+	// back in input order): a K-app batch admission reconciles the solver
+	// with exactly one insertion instead of K.
+	var newApps []*PlacedApp
+	var newFlows []alloc.Flow
 	for _, pa := range s.be {
 		if _, ok := s.beFlowIDs[pa]; ok {
 			continue
 		}
 		w := pa.App.QoS.Priority / float64(len(pa.Paths))
-		flows := make([]alloc.Flow, len(pa.Paths))
 		for i := range pa.Paths {
-			flows[i] = alloc.Flow{Weight: w, Path: pa.Paths[i].P}
+			newFlows = append(newFlows, alloc.Flow{Weight: w, Path: pa.Paths[i].P})
 		}
-		ids, err := s.beSolver.AddFlows(flows)
+		newApps = append(newApps, pa)
+	}
+	if len(newFlows) > 0 {
+		ids, err := s.beSolver.AddFlows(newFlows)
 		if err != nil {
 			return alloc.Stats{}, err
 		}
-		s.beFlowIDs[pa] = ids
+		off := 0
+		for _, pa := range newApps {
+			n := len(pa.Paths)
+			s.beFlowIDs[pa] = ids[off : off+n : off+n]
+			off += n
+		}
 	}
 	rates, stats, err := s.beSolver.Solve(s.beRates)
 	if err != nil {

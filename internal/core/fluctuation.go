@@ -35,6 +35,9 @@ type FluctuationReport struct {
 // ApplyFluctuation scales element capacities and re-evaluates the system:
 // the scale persists (later submissions see the degraded network) until
 // the next call. Passing nil (or an empty map) restores nominal capacity.
+// The fluctuation is committed to the journal before returning; a
+// restore (nil/empty scale) is a fluctuation like any other. Validation
+// errors mutate nothing and are not journaled.
 func (s *Scheduler) ApplyFluctuation(scale ElementScale) (*FluctuationReport, error) {
 	for e, f := range scale {
 		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
@@ -44,6 +47,28 @@ func (s *Scheduler) ApplyFluctuation(scale ElementScale) (*FluctuationReport, er
 			return nil, fmt.Errorf("core: unknown element %d in fluctuation", e)
 		}
 	}
+	if len(scale) == 0 {
+		// Normalize "restore to nominal" to nil so live state and its
+		// journal round-trip agree byte-for-byte (JSON cannot tell an
+		// empty map from nil after omitempty).
+		scale = nil
+	}
+	rep, err := s.applyFluctuation(scale)
+	rec := &Record{Op: OpFluctuation, Outcome: "ok", Scale: scale}
+	if err != nil {
+		// s.scale and the pool were already updated; only the BE re-solve
+		// failed. The mutation is journaled with the error noted.
+		rec.Outcome = "error"
+		rec.Reason = err.Error()
+	}
+	if cerr := s.commitRecord(rec); cerr != nil {
+		return rep, cerr
+	}
+	return rep, err
+}
+
+// applyFluctuation is ApplyFluctuation without the durability commit.
+func (s *Scheduler) applyFluctuation(scale ElementScale) (*FluctuationReport, error) {
 	s.scale = scale
 
 	report := &FluctuationReport{BERates: map[string]float64{}}

@@ -1,21 +1,40 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Remove withdraws an admitted application by name, releasing its
 // resources: a departing GR application returns its reservation to the BE
 // pool, and the Best-Effort allocation is re-solved either way. Removing
-// an unknown name is an error.
+// an unknown name wraps ErrNotFound.
+//
+// A successful removal is committed to the journal before Remove returns;
+// an unknown name had no effect and is not journaled.
 func (s *Scheduler) Remove(name string) error {
 	err := s.remove(name)
+	if errors.Is(err, ErrNotFound) {
+		return err
+	}
 	if err == nil {
 		s.log.Info("application withdrawn", "app", name)
 		s.syncAppMetrics()
 	}
+	rec := &Record{Op: OpRemove, Outcome: "ok", Name: name}
+	if err != nil {
+		// The app is gone but the re-allocation failed: the structural
+		// change is journaled anyway (it happened), with the error noted.
+		rec.Outcome = "error"
+		rec.Reason = err.Error()
+	}
+	if cerr := s.commitRecord(rec); cerr != nil {
+		return cerr
+	}
 	return err
 }
 
-// remove is Remove without telemetry.
+// remove is Remove without telemetry or durability.
 func (s *Scheduler) remove(name string) error {
 	for i, pa := range s.gr {
 		if pa.App.Name == name {
@@ -31,5 +50,5 @@ func (s *Scheduler) remove(name string) error {
 			return s.reallocateBE()
 		}
 	}
-	return fmt.Errorf("core: no admitted application named %q", name)
+	return fmt.Errorf("core: no admitted application named %q: %w", name, ErrNotFound)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,7 +21,35 @@ import (
 // exists the original (violated) placement is restored and the error wraps
 // ErrRejected, leaving the operator to decide between degraded service and
 // removal.
+// Both outcomes are journaled: a failed repair is state-visible too (the
+// restored app moves to the end of the GR list, the capacity pool
+// round-trips through release/reserve, and the warm solver is dropped).
+// An unknown name had no effect and is not journaled.
 func (s *Scheduler) Repair(name string) (*PlacedApp, error) {
+	pa, err := s.repairObserved(name)
+	if errors.Is(err, ErrNotFound) {
+		return pa, err
+	}
+	rec := &Record{Op: OpRepair, Outcome: "repaired", Name: name}
+	if err != nil {
+		rec.Outcome = "failed"
+		rec.Reason = err.Error()
+	} else {
+		st, exportErr := exportApp(pa)
+		if exportErr != nil {
+			return pa, fmt.Errorf("%w: %v", ErrDurability, exportErr)
+		}
+		rec.App = &st
+	}
+	if cerr := s.commitRecord(rec); cerr != nil {
+		return pa, cerr
+	}
+	return pa, err
+}
+
+// repairObserved is Repair's pipeline plus telemetry, without the
+// durability commit.
+func (s *Scheduler) repairObserved(name string) (*PlacedApp, error) {
 	if !s.telemetryOn() {
 		return s.repair(name)
 	}
@@ -61,7 +90,7 @@ func (s *Scheduler) repair(name string) (*PlacedApp, error) {
 		}
 	}
 	if idx < 0 {
-		return nil, fmt.Errorf("core: no admitted guaranteed-rate application named %q", name)
+		return nil, fmt.Errorf("core: no admitted guaranteed-rate application named %q: %w", name, ErrNotFound)
 	}
 	old := s.gr[idx]
 	// Release the old reservation.

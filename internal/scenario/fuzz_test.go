@@ -1,10 +1,15 @@
 package scenario
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // FuzzParse exercises the scenario parser and builders against arbitrary
-// input: they must never panic, and anything that parses and builds must
-// round-trip through Encode/Parse.
+// input: they must never panic, anything that parses must satisfy the
+// numeric invariants (finite non-negative quantities, probabilities in
+// [0, 1]), and anything that parses and builds must round-trip through
+// Encode/Parse.
 func FuzzParse(f *testing.F) {
 	example, err := Example().Encode()
 	if err != nil {
@@ -15,11 +20,21 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"network":{"name":"n","ncps":[{"name":"a"}]},"apps":[]}`)
 	f.Add(`{"network":{"ncps":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","a":"a","b":"b","bandwidth":5,"directed":true}]}}`)
 	f.Add(`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"be"}}]}`)
+	// Invalid-number seeds: negative capacity, out-of-range failProb,
+	// negative bits, availability above 1, huge exponents.
+	f.Add(`{"network":{"ncps":[{"name":"a","capacity":{"cpu":-1}}]}}`)
+	f.Add(`{"network":{"ncps":[{"name":"a","failProb":1.5}]}}`)
+	f.Add(`{"network":{"ncps":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","a":"a","b":"b","bandwidth":-3}]}}`)
+	f.Add(`{"apps":[{"name":"x","cts":[{"name":"c"},{"name":"d"}],"tts":[{"from":"c","to":"d","bits":-1}],"qos":{"class":"be"}}]}`)
+	f.Add(`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"gr","minRate":-0.5}}]}`)
+	f.Add(`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"be","availability":2}}]}`)
+	f.Add(`{"network":{"ncps":[{"name":"a","capacity":{"cpu":1e308}}]}}`)
 	f.Fuzz(func(t *testing.T, data string) {
 		file, err := Parse([]byte(data))
 		if err != nil {
 			return
 		}
+		checkNumericInvariants(t, file)
 		net, err := file.BuildNetwork()
 		if err != nil {
 			return
@@ -35,4 +50,44 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("round-trip parse failed: %v", err)
 		}
 	})
+}
+
+// checkNumericInvariants walks a successfully parsed file and fails if
+// any value the validator promises to reject survived.
+func checkNumericInvariants(t *testing.T, f *File) {
+	t.Helper()
+	quantity := func(what string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("%s = %v slipped through Parse", what, v)
+		}
+	}
+	prob := func(what string, v float64) {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("%s = %v slipped through Parse", what, v)
+		}
+	}
+	for _, ncp := range f.Network.NCPs {
+		for kind, c := range ncp.Capacity {
+			quantity("NCP capacity "+kind, c)
+		}
+		prob("NCP failProb", ncp.FailProb)
+	}
+	for _, link := range f.Network.Links {
+		quantity("link bandwidth", link.Bandwidth)
+		prob("link failProb", link.FailProb)
+	}
+	for _, app := range f.Apps {
+		for _, ct := range app.CTs {
+			for kind, r := range ct.Req {
+				quantity("CT req "+kind, r)
+			}
+		}
+		for _, tt := range app.TTs {
+			quantity("TT bits", tt.Bits)
+		}
+		quantity("QoS priority", app.QoS.Priority)
+		quantity("QoS minRate", app.QoS.MinRate)
+		prob("QoS availability", app.QoS.Availability)
+		prob("QoS minRateAvailability", app.QoS.MinRateAvailability)
+	}
 }

@@ -10,6 +10,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 
 	"sparcle/internal/core"
@@ -88,7 +89,10 @@ type QoSSpec struct {
 	MaxPaths            int     `json:"maxPaths,omitempty"`
 }
 
-// Parse decodes a scenario document, rejecting unknown fields.
+// Parse decodes a scenario document, rejecting unknown fields and
+// numerically invalid inputs: NaN or negative capacities, bandwidths,
+// rates and bits, and failure probabilities or availabilities outside
+// [0, 1]. A scenario that parses is safe to build and schedule.
 func Parse(data []byte) (*File, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
@@ -96,7 +100,97 @@ func Parse(data []byte) (*File, error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("scenario: parse: %w", err)
 	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
 	return &f, nil
+}
+
+// Validate checks every numeric field of the scenario: quantities
+// (capacities, bandwidths, requirements, bits, rates, priorities) must be
+// finite and non-negative, probabilities must lie in [0, 1]. The builders
+// run the same checks, so a File constructed in code is validated too.
+func (f *File) Validate() error {
+	for _, ncp := range f.Network.NCPs {
+		if err := validateNCP(ncp); err != nil {
+			return err
+		}
+	}
+	for _, link := range f.Network.Links {
+		if err := validateLink(link); err != nil {
+			return err
+		}
+	}
+	for _, app := range f.Apps {
+		if err := validateApp(app); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkQuantity rejects NaN, infinite and negative values.
+func checkQuantity(what string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("scenario: %s is %v, want a finite non-negative number", what, v)
+	}
+	return nil
+}
+
+// checkProbability rejects values outside [0, 1] (and NaN).
+func checkProbability(what string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("scenario: %s is %v, want a probability in [0, 1]", what, v)
+	}
+	return nil
+}
+
+func validateNCP(spec NCPSpec) error {
+	for kind, cap := range spec.Capacity {
+		if err := checkQuantity(fmt.Sprintf("NCP %q capacity %q", spec.Name, kind), cap); err != nil {
+			return err
+		}
+	}
+	return checkProbability(fmt.Sprintf("NCP %q failProb", spec.Name), spec.FailProb)
+}
+
+func validateLink(spec LinkSpec) error {
+	if err := checkQuantity(fmt.Sprintf("link %q bandwidth", spec.Name), spec.Bandwidth); err != nil {
+		return err
+	}
+	return checkProbability(fmt.Sprintf("link %q failProb", spec.Name), spec.FailProb)
+}
+
+func validateApp(spec AppSpec) error {
+	for _, ct := range spec.CTs {
+		for kind, req := range ct.Req {
+			if err := checkQuantity(fmt.Sprintf("app %q CT %q requirement %q", spec.Name, ct.Name, kind), req); err != nil {
+				return err
+			}
+		}
+	}
+	for _, tt := range spec.TTs {
+		if err := checkQuantity(fmt.Sprintf("app %q TT %q->%q bits", spec.Name, tt.From, tt.To), tt.Bits); err != nil {
+			return err
+		}
+	}
+	q := spec.QoS
+	if err := checkQuantity(fmt.Sprintf("app %q QoS priority", spec.Name), q.Priority); err != nil {
+		return err
+	}
+	if err := checkQuantity(fmt.Sprintf("app %q QoS minRate", spec.Name), q.MinRate); err != nil {
+		return err
+	}
+	if err := checkProbability(fmt.Sprintf("app %q QoS availability", spec.Name), q.Availability); err != nil {
+		return err
+	}
+	if err := checkProbability(fmt.Sprintf("app %q QoS minRateAvailability", spec.Name), q.MinRateAvailability); err != nil {
+		return err
+	}
+	if q.MaxPaths < 0 {
+		return fmt.Errorf("scenario: app %q QoS maxPaths is %d, want non-negative", spec.Name, q.MaxPaths)
+	}
+	return nil
 }
 
 // Encode renders the scenario as indented JSON.
@@ -115,9 +209,15 @@ func (f *File) BuildNetwork() (*network.Network, error) {
 		if _, dup := ids[spec.Name]; dup {
 			return nil, fmt.Errorf("scenario: duplicate NCP name %q", spec.Name)
 		}
+		if err := validateNCP(spec); err != nil {
+			return nil, err
+		}
 		ids[spec.Name] = b.AddNCP(spec.Name, vector(spec.Capacity), spec.FailProb)
 	}
 	for _, spec := range f.Network.Links {
+		if err := validateLink(spec); err != nil {
+			return nil, err
+		}
 		a, ok := ids[spec.A]
 		if !ok {
 			return nil, fmt.Errorf("scenario: link %q references unknown NCP %q", spec.Name, spec.A)
@@ -149,7 +249,12 @@ func (f *File) BuildApps(net *network.Network) ([]core.App, error) {
 }
 
 // BuildApp constructs one application against an already built network.
+// Specs arriving outside Parse (e.g. POST /apps bodies) get the same
+// numeric validation here.
 func BuildApp(spec AppSpec, net *network.Network) (core.App, error) {
+	if err := validateApp(spec); err != nil {
+		return core.App{}, err
+	}
 	b := taskgraph.NewBuilder(spec.Name)
 	ctIDs := map[string]taskgraph.CTID{}
 	pins := placement.Pins{}

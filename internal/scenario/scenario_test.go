@@ -155,3 +155,77 @@ func TestExampleEncodesStable(t *testing.T) {
 		}
 	}
 }
+
+// TestParseRejectsInvalidNumbers checks the precise validation errors for
+// each numerically invalid field class.
+func TestParseRejectsInvalidNumbers(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"negative capacity",
+			`{"network":{"ncps":[{"name":"a","capacity":{"cpu":-5}}]}}`,
+			`NCP "a" capacity "cpu"`},
+		{"failProb above one",
+			`{"network":{"ncps":[{"name":"a","failProb":1.01}]}}`,
+			`NCP "a" failProb`},
+		{"negative bandwidth",
+			`{"network":{"ncps":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","a":"a","b":"b","bandwidth":-1}]}}`,
+			`link "l" bandwidth`},
+		{"link failProb negative",
+			`{"network":{"ncps":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","a":"a","b":"b","bandwidth":1,"failProb":-0.2}]}}`,
+			`link "l" failProb`},
+		{"negative CT requirement",
+			`{"apps":[{"name":"x","cts":[{"name":"c","req":{"cpu":-10}}],"qos":{"class":"be"}}]}`,
+			`app "x" CT "c" requirement "cpu"`},
+		{"negative bits",
+			`{"apps":[{"name":"x","cts":[{"name":"c"},{"name":"d"}],"tts":[{"from":"c","to":"d","bits":-1}],"qos":{"class":"be"}}]}`,
+			`app "x" TT "c"->"d" bits`},
+		{"negative priority",
+			`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"be","priority":-1}}]}`,
+			`app "x" QoS priority`},
+		{"negative minRate",
+			`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"gr","minRate":-0.1}}]}`,
+			`app "x" QoS minRate`},
+		{"availability above one",
+			`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"be","availability":1.5}}]}`,
+			`app "x" QoS availability`},
+		{"minRateAvailability above one",
+			`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"gr","minRateAvailability":2}}]}`,
+			`app "x" QoS minRateAvailability`},
+		{"negative maxPaths",
+			`{"apps":[{"name":"x","cts":[{"name":"c"}],"qos":{"class":"be","maxPaths":-2}}]}`,
+			`app "x" QoS maxPaths`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the field (want substring %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuildAppValidatesDirectSpecs: specs that bypass Parse (the HTTP
+// submit path) are still validated by BuildApp.
+func TestBuildAppValidatesDirectSpecs(t *testing.T) {
+	f, err := Parse([]byte(`{"network":{"ncps":[{"name":"a"}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := f.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AppSpec{
+		Name: "bad",
+		CTs:  []CTSpec{{Name: "c", Req: map[string]float64{"cpu": -1}}},
+		QoS:  QoSSpec{Class: "be"},
+	}
+	if _, err := BuildApp(spec, net); err == nil {
+		t.Fatal("BuildApp accepted a negative requirement")
+	}
+}

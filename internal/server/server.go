@@ -10,9 +10,15 @@
 //	GET    /network            the network topology and capacities
 //	GET    /apps               all admitted applications with rates
 //	POST   /apps               submit one scenario.AppSpec
+//	POST   /apps/batch         submit several specs as one atomic batch
 //	DELETE /apps/{name}        withdraw an application
 //	POST   /apps/{name}/repair re-place a violated GR application
 //	POST   /fluctuation        apply element capacity scales
+//
+// With EnableJournal the server is durable: every mutating operation is
+// committed to a write-ahead journal before its response is sent, and a
+// restarted server recovers the exact pre-crash scheduler from snapshot
+// plus bounded replay. While recovery runs, mutating routes answer 503.
 package server
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"sparcle/internal/core"
+	"sparcle/internal/journal"
 	"sparcle/internal/network"
 	"sparcle/internal/obs"
 	"sparcle/internal/placement"
@@ -45,6 +52,15 @@ type Server struct {
 	metrics  *obs.Registry
 	start    time.Time
 	requests atomic.Uint64
+
+	// opts are the scheduler options New resolved, kept so EnableJournal
+	// can rebuild a recovered scheduler under identical configuration.
+	opts []core.Option
+	// journal is non-nil once EnableJournal succeeds.
+	journal *journal.Journal
+	// recovering gates mutating routes behind 503 while journal recovery
+	// rebuilds the scheduler.
+	recovering atomic.Bool
 }
 
 // New returns a Server scheduling onto net. The server always carries a
@@ -58,6 +74,7 @@ func New(net *network.Network, opts ...core.Option) *Server {
 		sched:   core.New(net, opts...),
 		metrics: reg,
 		start:   time.Now(),
+		opts:    opts,
 	}
 }
 
@@ -80,6 +97,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /network", s.handleNetwork)
 	mux.HandleFunc("GET /apps", s.handleListApps)
 	mux.HandleFunc("POST /apps", s.handleSubmit)
+	mux.HandleFunc("POST /apps/batch", s.handleSubmitBatch)
 	mux.HandleFunc("DELETE /apps/{name}", s.handleRemove)
 	mux.HandleFunc("POST /apps/{name}/repair", s.handleRepair)
 	mux.HandleFunc("POST /fluctuation", s.handleFluctuation)
@@ -105,6 +123,13 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		}()
 		s.requests.Add(1)
 		s.metrics.Counter("sparcle_http_requests_total", obs.L("method", r.Method)).Inc()
+		if r.Method != http.MethodGet && s.recovering.Load() {
+			// Journal recovery is rebuilding the scheduler; nothing may
+			// mutate (or journal) until the rebuilt state is live.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "recovering from journal; retry shortly"})
+			return
+		}
 		next.ServeHTTP(w, r)
 	})
 }
@@ -269,12 +294,97 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, s.appView(pa))
 }
 
+// batchRequest is the body of POST /apps/batch.
+type batchRequest struct {
+	Apps []scenario.AppSpec `json:"apps"`
+}
+
+// batchVerdict is one application's outcome inside a batch response.
+type batchVerdict struct {
+	Name     string   `json:"name"`
+	Admitted bool     `json:"admitted"`
+	Error    string   `json:"error,omitempty"`
+	App      *appView `json:"app,omitempty"`
+}
+
+type batchResponse struct {
+	Verdicts []batchVerdict `json:"verdicts"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// handleSubmitBatch admits K applications as one atomic operation: a
+// single allocation solve and a single journal record cover the whole
+// batch. Per-app failures (bad spec, duplicate name, rejection) are
+// verdicts, not HTTP errors; the call answers 200 with one verdict per
+// input. Only a durability failure (journal append lost) or a whole-batch
+// allocation failure changes the status.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	taken := map[string]bool{}
+	for _, existing := range append(s.sched.GRApps(), s.sched.BEApps()...) {
+		taken[existing.App.Name] = true
+	}
+	verdicts := make([]batchVerdict, len(req.Apps))
+	var apps []core.App
+	var appIdx []int
+	for i, spec := range req.Apps {
+		verdicts[i].Name = spec.Name
+		app, err := scenario.BuildApp(spec, s.net)
+		switch {
+		case err != nil:
+			verdicts[i].Error = err.Error()
+		case taken[app.Name]:
+			verdicts[i].Error = fmt.Sprintf("application %q already admitted", app.Name)
+		default:
+			taken[app.Name] = true
+			apps = append(apps, app)
+			appIdx = append(appIdx, i)
+		}
+	}
+
+	results, err := s.sched.SubmitBatch(apps)
+	for j, res := range results {
+		v := &verdicts[appIdx[j]]
+		if res.Err != nil {
+			v.Error = res.Err.Error()
+		} else {
+			v.Admitted = true
+			view := s.appView(res.App)
+			v.App = &view
+		}
+	}
+	resp := batchResponse{Verdicts: verdicts}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		if errors.Is(err, core.ErrDurability) {
+			status = http.StatusInternalServerError
+		} else {
+			status = http.StatusConflict
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.sched.Remove(name); err != nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
@@ -286,9 +396,14 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	pa, err := s.sched.Repair(name)
 	if err != nil {
-		status := http.StatusConflict
-		if !errors.Is(err, core.ErrRejected) {
+		var status int
+		switch {
+		case errors.Is(err, core.ErrRejected):
+			status = http.StatusConflict
+		case errors.Is(err, core.ErrNotFound):
 			status = http.StatusNotFound
+		default:
+			status = http.StatusInternalServerError
 		}
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
@@ -328,7 +443,11 @@ func (s *Server) handleFluctuation(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.sched.ApplyFluctuation(scale)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrDurability) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	resp := fluctuationResponse{ViolatedGR: rep.ViolatedGR, BERates: rep.BERates}
@@ -367,21 +486,26 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 // SubmitAll admits a batch of applications (e.g. a scenario's app list at
-// server startup), logging each outcome to out. Rejections are reported
-// but do not fail the batch; any other error aborts.
+// server startup) through the same atomic batch path as POST /apps/batch:
+// one allocation solve and one journal record cover the whole load,
+// logging each outcome to out. Rejections are reported but do not fail the
+// batch; a batch-level error (allocation or durability failure) aborts.
 func (s *Server) SubmitAll(apps []core.App, out io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, app := range apps {
-		pa, err := s.sched.Submit(app)
+	results, err := s.sched.SubmitBatch(apps)
+	for _, res := range results {
 		switch {
-		case errors.Is(err, core.ErrRejected):
-			fmt.Fprintf(out, "rejected %q: %v\n", app.Name, err)
-		case err != nil:
-			return fmt.Errorf("submit %q: %w", app.Name, err)
+		case errors.Is(res.Err, core.ErrRejected):
+			fmt.Fprintf(out, "rejected %q: %v\n", res.Name, res.Err)
+		case res.Err != nil:
+			fmt.Fprintf(out, "failed %q: %v\n", res.Name, res.Err)
 		default:
-			fmt.Fprintf(out, "admitted %q at %.4f/s\n", app.Name, pa.TotalRate())
+			fmt.Fprintf(out, "admitted %q at %.4f/s\n", res.Name, res.App.TotalRate())
 		}
+	}
+	if err != nil {
+		return fmt.Errorf("batch submit: %w", err)
 	}
 	return nil
 }
