@@ -6,21 +6,28 @@
 //
 // Usage:
 //
-//	sparcle-server -f scenario.json [-addr :8080] [-submit] [-journal dir] [-pprof] [-v]
+//	sparcle-server -f scenario.json [-addr :8080] [-submit] [-journal dir]
+//	               [-spans] [-spans-chrome trace.json] [-slo 50ms] [-pprof] [-v]
 //
 // With -submit, the scenario's applications are admitted at startup. With
 // -journal, every mutating operation is committed to a write-ahead
 // journal in the given directory before it is acknowledged, and a restart
 // recovers the exact pre-crash scheduler from snapshot + replay (see
-// docs/durability.md). With -pprof, the net/http/pprof profiling handlers
-// are mounted under /debug/pprof/. With -v, scheduler activity is logged
-// to stderr.
+// docs/durability.md). With -spans (implied by any -spans-* flag), every
+// admission-path stage is timed as a hierarchical span: -spans-chrome
+// streams a Perfetto-loadable trace, -spans-jsonl streams raw records,
+// and the in-memory flight recorder serves GET /debug/flight and dumps to
+// -flight-dir when a root span breaches -slo (see docs/observability.md).
+// With -pprof, the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/. With -v, scheduler activity is logged to stderr.
 //
 // API summary (see internal/server for details):
 //
-//	GET    /healthz               liveness, uptime and admission summary
+//	GET    /healthz               liveness, uptime, admission and journal status
 //	GET    /metrics               Prometheus text exposition
 //	GET    /debug/vars            JSON metrics snapshot
+//	GET    /debug/flight          flight-recorder ring as a Chrome trace (-spans)
+//	GET    /debug/latency         per-stage latency quantiles from spans
 //	GET    /network
 //	GET    /apps
 //	POST   /apps                  body: one scenario app spec
@@ -76,6 +83,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	journalFsync := fs.String("journal-fsync", "always", "journal fsync policy: always, interval, or never")
 	journalFsyncInterval := fs.Duration("journal-fsync-interval", 100*time.Millisecond, "flush period for -journal-fsync=interval")
 	snapshotEvery := fs.Int("snapshot-every", 256, "journal records between snapshots (0 = only the genesis snapshot)")
+	spans := fs.Bool("spans", false, "arm span tracing (flight recorder, /debug/flight, /debug/latency) with no trace files")
+	spansChrome := fs.String("spans-chrome", "", "stream spans to this Chrome trace-event file (implies -spans; load in Perfetto)")
+	spansJSONL := fs.String("spans-jsonl", "", "stream spans to this JSONL file, one record per line (implies -spans)")
+	flightSize := fs.Int("flight", 64, "flight-recorder ring capacity in spans")
+	slo := fs.Duration("slo", 0, "root-span latency SLO; breaches dump the flight ring (0 = no SLO)")
+	flightDir := fs.String("flight-dir", "", "directory for flight dumps on SLO breach or handler panic")
+	runtimeMetrics := fs.Duration("runtime-metrics", 10*time.Second, "Go runtime sampling period for /metrics (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +120,43 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
 	}
 	srv := server.New(netw, opts...)
+	if *spansChrome != "" || *spansJSONL != "" || *flightDir != "" || *slo > 0 {
+		*spans = true
+	}
+	if *spans {
+		sopt := obs.SpanOptions{
+			Metrics:    srv.Metrics(),
+			FlightSize: *flightSize,
+			SLO:        *slo,
+			DumpDir:    *flightDir,
+		}
+		if *spansChrome != "" {
+			f, err := os.Create(*spansChrome)
+			if err != nil {
+				return fmt.Errorf("spans-chrome: %w", err)
+			}
+			defer f.Close()
+			sopt.Chrome = f
+		}
+		if *spansJSONL != "" {
+			f, err := os.Create(*spansJSONL)
+			if err != nil {
+				return fmt.Errorf("spans-jsonl: %w", err)
+			}
+			defer f.Close()
+			sopt.JSONL = f
+		}
+		st := obs.NewSpanTracer(sopt)
+		// Close finishes the Chrome JSON array, so it must run before the
+		// deferred file closes above (LIFO order guarantees that).
+		defer st.Close()
+		srv.EnableSpans(st)
+		fmt.Fprintf(out, "sparcle-server span tracing armed (flight=%d, slo=%s)\n", *flightSize, *slo)
+	}
+	if *runtimeMetrics > 0 {
+		stop := obs.StartRuntimeSampler(srv.Metrics(), *runtimeMetrics)
+		defer stop()
+	}
 	if *journalDir != "" {
 		policy, err := journal.ParsePolicy(*journalFsync)
 		if err != nil {

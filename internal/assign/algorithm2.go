@@ -53,6 +53,12 @@ type Sparcle struct {
 	// parallelism gauge. A nil registry is free: the hot loop increments
 	// nil no-op metrics and allocates nothing extra.
 	Metrics *obs.Registry
+	// Span, when set, parents one "assign.rank" child span per
+	// dynamic-ranking iteration (the candidate scoring and selection of
+	// Algorithm 2) and one "assign.place" span per committed placement
+	// (the widest-path routing). The scheduler binds a per-call span
+	// here; a nil span is free.
+	Span *obs.Span
 }
 
 // Decision is one step of the dynamic-ranking placement, reported through
@@ -125,7 +131,11 @@ func (a Sparcle) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Ne
 		}
 	}
 	for len(st.unplaced) > 0 {
+		rsp := a.Span.Child("assign.rank")
+		rsp.SetInt("step", int64(len(st.placed)))
+		rsp.SetInt("candidates", int64(len(st.unplaced)))
 		ct, host, gamma, candidates, err := st.dynamicRankNext()
+		rsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +151,10 @@ func (a Sparcle) Assign(g *taskgraph.Graph, pins placement.Pins, net *network.Ne
 				Gamma: obs.Float(gamma), Candidates: candidates,
 			})
 		}
-		if err := st.place(ct, host); err != nil {
+		psp := a.Span.Child("assign.place")
+		err = st.place(ct, host)
+		psp.End()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -132,7 +132,7 @@ func TestAssignMetrics(t *testing.T) {
 		if !ok || len(fam.Series) != 1 || fam.Series[0].Value == nil {
 			t.Fatalf("metric %s missing from snapshot", name)
 		}
-		return *fam.Series[0].Value
+		return float64(*fam.Series[0].Value)
 	}
 	if v := value(metricGammaEvals); v <= 0 {
 		t.Fatalf("gamma evals = %v", v)

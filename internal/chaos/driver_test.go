@@ -303,7 +303,7 @@ func TestDriverTelemetry(t *testing.T) {
 	checkCounter := func(name string, want float64, labels map[string]string) {
 		t.Helper()
 		got := findSeries(snap[name], labels)
-		if got == nil || *got.Value != want {
+		if got == nil || float64(*got.Value) != want {
 			t.Errorf("%s%v = %v, want %v", name, labels, got, want)
 		}
 	}

@@ -33,10 +33,21 @@ func (s *Scheduler) SubmitBatch(apps []App) ([]BatchResult, error) {
 	if s.batching {
 		return nil, errors.New("core: nested SubmitBatch")
 	}
+	sp := s.startOpSpan("core.batch")
+	sp.SetInt("apps", int64(len(apps)))
+	s.opSpan = sp
+	defer func() { s.opSpan = nil; sp.End() }()
 	results := make([]BatchResult, len(apps))
 	s.batching = true
 	for i, app := range apps {
+		// Each app's pipeline stages nest under its own per-app span.
+		asp := sp.Child("batch.submit")
+		asp.SetAttr("app", app.Name)
+		s.opSpan = asp
 		pa, err := s.submit(app)
+		s.opSpan = sp
+		asp.SetAttr("outcome", submitOutcome(err))
+		asp.End()
 		results[i] = BatchResult{Name: app.Name, App: pa, Err: err}
 	}
 	s.batching = false

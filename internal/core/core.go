@@ -277,6 +277,13 @@ type Scheduler struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	log     *slog.Logger
+	// spans, when set, emits hierarchical latency-attribution spans for
+	// every operation (see spans.go). reqSpan is the server-installed
+	// parent of the current request; opSpan is the span of the operation
+	// currently executing, exposed to the journal commit hook via OpSpan.
+	spans   *obs.SpanTracer
+	reqSpan *obs.Span
+	opSpan  *obs.Span
 	// published names the apps currently holding a rate gauge, so
 	// withdrawn apps' series are deleted rather than left stale.
 	published map[string]Class
@@ -451,7 +458,12 @@ func (s *Scheduler) TotalGRRate() float64 {
 // state-visible — is committed to the journal before Submit returns; a
 // commit failure surfaces as ErrDurability alongside the placed app.
 func (s *Scheduler) Submit(app App) (*PlacedApp, error) {
+	sp := s.startOpSpan("core.submit")
+	sp.SetAttr("app", app.Name)
+	s.opSpan = sp
+	defer func() { s.opSpan = nil; sp.End() }()
 	pa, err := s.submitObserved(app)
+	sp.SetAttr("outcome", submitOutcome(err))
 	rec := &Record{Op: OpAdmit, Outcome: submitOutcome(err), Name: app.Name}
 	if err != nil {
 		rec.Reason = err.Error()
@@ -544,7 +556,10 @@ func (s *Scheduler) submitGR(app App) (*PlacedApp, error) {
 	maxPaths := s.maxPaths(app)
 	achieved := 0.0
 	for len(paths) < maxPaths {
-		p, err := s.alg.Assign(app.Graph, app.Pins, s.net, s.assignmentView(residual, paths))
+		asp := s.opSpan.Child("assign.path")
+		asp.SetInt("path", int64(len(paths)))
+		p, err := s.spanAlg(asp).Assign(app.Graph, app.Pins, s.net, s.assignmentView(residual, paths))
+		asp.End()
 		if err != nil {
 			break
 		}
@@ -555,7 +570,10 @@ func (s *Scheduler) submitGR(app App) (*PlacedApp, error) {
 		p.Subtract(residual, rate)
 		paths = append(paths, placement.Path{P: p, Rate: rate})
 
+		avsp := s.opSpan.Child("avail.analyze")
+		avsp.SetInt("paths", int64(len(paths)))
 		a, err := avail.MinRateAuto(availPaths(paths), s.failProbs, app.QoS.MinRate, s.availSamples, s.rng)
+		avsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: GR app %q availability analysis: %w", app.Name, err)
 		}
@@ -594,6 +612,7 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 	if app.QoS.Priority <= 0 {
 		return nil, fmt.Errorf("core: BE app %q needs Priority > 0", app.Name)
 	}
+	psp := s.opSpan.Child("alloc.predict")
 	var predicted *network.Capacities
 	if s.noPrediction {
 		// Ablation mode: the newcomer sees whatever is left after the
@@ -619,12 +638,16 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 		}
 		predicted = alloc.Predict(s.beAvailable, footprints, app.QoS.Priority)
 	}
+	psp.End()
 
 	var paths []placement.Path
 	maxPaths := s.maxPaths(app)
 	achieved := 0.0
 	for len(paths) < maxPaths {
-		p, err := s.alg.Assign(app.Graph, app.Pins, s.net, s.assignmentView(predicted, paths))
+		asp := s.opSpan.Child("assign.path")
+		asp.SetInt("path", int64(len(paths)))
+		p, err := s.spanAlg(asp).Assign(app.Graph, app.Pins, s.net, s.assignmentView(predicted, paths))
+		asp.End()
 		if err != nil {
 			break
 		}
@@ -635,7 +658,10 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 		p.Subtract(predicted, rate)
 		paths = append(paths, placement.Path{P: p, Rate: rate})
 
+		avsp := s.opSpan.Child("avail.analyze")
+		avsp.SetInt("paths", int64(len(paths)))
 		a, err := avail.AtLeastOneAuto(availPaths(paths), s.failProbs, s.availSamples, s.rng)
+		avsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: BE app %q availability analysis: %w", app.Name, err)
 		}
@@ -701,6 +727,7 @@ func (s *Scheduler) reallocateBE() error {
 	if instrumented {
 		start = time.Now()
 	}
+	ssp := s.opSpan.Child("alloc.solve")
 	var (
 		stats alloc.Stats
 		err   error
@@ -727,6 +754,15 @@ func (s *Scheduler) reallocateBE() error {
 			stats, err = s.coldSolve()
 		}
 	}
+	ssp.SetAttr("solver", solver)
+	if stats.Warm {
+		ssp.SetAttr("mode", "warm")
+	} else {
+		ssp.SetAttr("mode", "cold")
+	}
+	ssp.SetInt("flows", int64(stats.Flows))
+	ssp.SetInt("cycles", int64(stats.Cycles))
+	ssp.End()
 	if instrumented {
 		elapsed := time.Since(start).Seconds()
 		if s.metrics != nil {

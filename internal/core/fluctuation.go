@@ -53,6 +53,10 @@ func (s *Scheduler) ApplyFluctuation(scale ElementScale) (*FluctuationReport, er
 		// empty map from nil after omitempty).
 		scale = nil
 	}
+	sp := s.startOpSpan("core.fluctuation")
+	sp.SetInt("elements", int64(len(scale)))
+	s.opSpan = sp
+	defer func() { s.opSpan = nil; sp.End() }()
 	rep, err := s.applyFluctuation(scale)
 	rec := &Record{Op: OpFluctuation, Outcome: "ok", Scale: scale}
 	if err != nil {

@@ -13,6 +13,10 @@ import (
 // A successful removal is committed to the journal before Remove returns;
 // an unknown name had no effect and is not journaled.
 func (s *Scheduler) Remove(name string) error {
+	sp := s.startOpSpan("core.remove")
+	sp.SetAttr("app", name)
+	s.opSpan = sp
+	defer func() { s.opSpan = nil; sp.End() }()
 	err := s.remove(name)
 	if errors.Is(err, ErrNotFound) {
 		return err

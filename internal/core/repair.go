@@ -26,6 +26,10 @@ import (
 // round-trips through release/reserve, and the warm solver is dropped).
 // An unknown name had no effect and is not journaled.
 func (s *Scheduler) Repair(name string) (*PlacedApp, error) {
+	sp := s.startOpSpan("core.repair")
+	sp.SetAttr("app", name)
+	s.opSpan = sp
+	defer func() { s.opSpan = nil; sp.End() }()
 	pa, err := s.repairObserved(name)
 	if errors.Is(err, ErrNotFound) {
 		return pa, err

@@ -180,6 +180,10 @@ func Open(dir string, opt Options) (*Journal, error) {
 // Dir returns the journal directory.
 func (j *Journal) Dir() string { return j.dir }
 
+// FsyncPolicy returns the configured fsync policy. Options are immutable
+// after Open, so no lock is taken.
+func (j *Journal) FsyncPolicy() Policy { return j.opt.Fsync }
+
 // LastSeq returns the sequence number of the most recent record (appended
 // or recovered); 0 means the journal is empty.
 func (j *Journal) LastSeq() uint64 {
@@ -201,6 +205,18 @@ func (j *Journal) SinceSnapshot() int {
 // on stable storage when Append returns; callers must not acknowledge the
 // operation to clients before Append does.
 func (j *Journal) Append(typ string, data any) (uint64, error) {
+	return j.AppendSpan(nil, typ, data)
+}
+
+// AppendSpan is Append with latency attribution: the whole append is
+// recorded as a "journal.append" child span of parent, and under
+// SyncAlways the stable-storage flush gets its own nested
+// "journal.fsync" span — in an admission trace, that child is where a
+// slow disk shows up. A nil parent costs nothing.
+func (j *Journal) AppendSpan(parent *obs.Span, typ string, data any) (uint64, error) {
+	asp := parent.Child("journal.append")
+	defer asp.End()
+	asp.SetAttr("type", typ)
 	payload, err := json.Marshal(data)
 	if err != nil {
 		return 0, fmt.Errorf("journal: marshal %s record: %w", typ, err)
@@ -218,6 +234,7 @@ func (j *Journal) Append(typ string, data any) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	asp.SetInt("bytes", int64(len(frame)))
 	if j.f == nil {
 		// A fresh segment starts at the next sequence number (not at the
 		// snapshot boundary): recovery may have left tail records in an
@@ -232,7 +249,10 @@ func (j *Journal) Append(typ string, data any) (uint64, error) {
 	}
 	switch j.opt.Fsync {
 	case SyncAlways:
-		if err := j.fsyncLocked(); err != nil {
+		fsp := asp.Child("journal.fsync")
+		err := j.fsyncLocked()
+		fsp.End()
+		if err != nil {
 			return 0, err
 		}
 	case SyncInterval:

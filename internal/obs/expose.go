@@ -109,15 +109,18 @@ type FamilySnapshot struct {
 	Series []SeriesSnapshot `json:"series"`
 }
 
-// SeriesSnapshot is the JSON view of one time series.
+// SeriesSnapshot is the JSON view of one time series. Value and Sum use
+// the ±Inf/NaN-safe Float encoding: a histogram that has observed an
+// infinity (or a gauge pinned to one) must not make the whole snapshot
+// unmarshalable.
 type SeriesSnapshot struct {
 	Labels map[string]string `json:"labels,omitempty"`
 	// Value is set for counters and gauges.
-	Value *float64 `json:"value,omitempty"`
+	Value *Float `json:"value,omitempty"`
 	// Sum, Count and Buckets are set for histograms; Buckets maps each
 	// upper bound (rendered as a string, "+Inf" last) to its cumulative
 	// count.
-	Sum     *float64          `json:"sum,omitempty"`
+	Sum     *Float            `json:"sum,omitempty"`
 	Count   *uint64           `json:"count,omitempty"`
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
 }
@@ -140,7 +143,7 @@ func (r *Registry) Snapshot() map[string]FamilySnapshot {
 				}
 			}
 			if f.typ == typeHistogram {
-				sum := math.Float64frombits(s.hist.sumBits.Load())
+				sum := Float(math.Float64frombits(s.hist.sumBits.Load()))
 				count := s.hist.count.Load()
 				ss.Sum, ss.Count = &sum, &count
 				ss.Buckets = map[string]uint64{}
@@ -152,7 +155,7 @@ func (r *Registry) Snapshot() map[string]FamilySnapshot {
 				cum += s.hist.counts[len(s.hist.buckets)].Load()
 				ss.Buckets["+Inf"] = cum
 			} else {
-				v := math.Float64frombits(s.bits.Load())
+				v := Float(math.Float64frombits(s.bits.Load()))
 				ss.Value = &v
 			}
 			fs.Series = append(fs.Series, ss)

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExposeEmptyRegistry: an empty (or nil) registry writes nothing and
+// snapshots to an empty object, not a panic or "null".
+func TestExposeEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", buf.String())
+	}
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q (%v)", buf.String(), err)
+	}
+	snap := nilReg.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil || string(data) != "{}" {
+		t.Fatalf("nil snapshot = %s (%v)", data, err)
+	}
+}
+
+// TestExposeHelpOnlyFamily: SetHelp without data must not emit a
+// dangling TYPE/HELP block.
+func TestExposeHelpOnlyFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("sparcle_future_metric", "Registered but never observed.")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "sparcle_future_metric") {
+		t.Fatalf("help-only family leaked into exposition:\n%s", buf.String())
+	}
+}
+
+// TestExposeLabelEscaping covers the label-value escapes of the text
+// format: backslash, double quote and newline, in both exposition and
+// the canonical series key (no duplicate series under reordering).
+func TestExposeLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", L("path", `C:\tmp`), L("msg", "say \"hi\"\nbye")).Add(3)
+	// Same labels in a different call order must hit the same series.
+	reg.Counter("esc_total", L("msg", "say \"hi\"\nbye"), L("path", `C:\tmp`)).Add(2)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	want := `esc_total{msg="say \"hi\"\nbye",path="C:\\tmp"} 5`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, text)
+	}
+	if strings.Count(text, "esc_total{") != 1 {
+		t.Fatalf("label reordering created duplicate series:\n%s", text)
+	}
+	if strings.Contains(text, "\nbye\"") {
+		t.Fatalf("raw newline leaked into a label value:\n%s", text)
+	}
+}
+
+// TestExposeInfBuckets: histograms whose explicit bounds include ±Inf
+// must render them as +Inf/-Inf (never Go's "+Inf" formatting quirks or
+// a duplicate of the implicit overflow bucket), keep cumulative counts
+// monotone, and survive ±Inf observations.
+func TestExposeInfBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("inf_seconds", []float64{math.Inf(-1), 1, math.Inf(1)})
+	h.Observe(math.Inf(-1)) // lands in the -Inf bucket
+	h.Observe(0.5)
+	h.Observe(math.Inf(1)) // lands in the explicit +Inf bucket
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`inf_seconds_bucket{le="-Inf"} 1`,
+		`inf_seconds_bucket{le="1"} 2`,
+		// The explicit +Inf bound and the implicit overflow bucket are
+		// both rendered; both must carry the full count.
+		`inf_seconds_bucket{le="+Inf"} 3`,
+		`inf_seconds_count 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if got := strings.Count(text, `le="+Inf"`); got != 2 {
+		t.Errorf(`le="+Inf" lines = %d, want explicit + implicit = 2`, got)
+	}
+	// The sum of (-Inf + 0.5 + +Inf) is NaN; the format requires "NaN".
+	if !strings.Contains(text, "inf_seconds_sum NaN") {
+		t.Errorf("sum with mixed infinities not rendered as NaN:\n%s", text)
+	}
+
+	// The JSON snapshot of the same histogram must be marshalable (the
+	// bucket keys are strings, so ±Inf cannot break encoding/json).
+	if _, err := json.Marshal(reg.Snapshot()); err != nil {
+		t.Fatalf("snapshot with ±Inf buckets not marshalable: %v", err)
+	}
+}
+
+// TestExposeGaugeSpecials: ±Inf and NaN gauge values render in the text
+// format's spelling.
+func TestExposeGaugeSpecials(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g_pos").Set(math.Inf(1))
+	reg.Gauge("g_neg").Set(math.Inf(-1))
+	reg.Gauge("g_nan").Set(math.NaN())
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"g_pos +Inf", "g_neg -Inf", "g_nan NaN"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime-health gauges maintained by the sampler.
+const (
+	metricGoroutines    = "sparcle_go_goroutines"
+	metricHeapAlloc     = "sparcle_go_heap_alloc_bytes"
+	metricHeapSys       = "sparcle_go_heap_sys_bytes"
+	metricGCCycles      = "sparcle_go_gc_cycles_total"
+	metricGCPause       = "sparcle_go_gc_pause_seconds_total"
+	metricGCCPUFraction = "sparcle_go_gc_cpu_fraction"
+)
+
+// StartRuntimeSampler registers Go runtime health gauges (goroutine
+// count, heap alloc/sys bytes, GC cycle count, cumulative GC pause and
+// GC CPU fraction) into reg and refreshes them every interval. One
+// sample is taken synchronously before it returns, so /metrics is never
+// empty-handed. The returned stop function halts the sampler and waits
+// for it to exit; it is safe to call more than once.
+//
+// A nil registry or a non-positive interval disables sampling; the
+// returned stop is then a no-op.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil || interval <= 0 {
+		return func() {}
+	}
+	reg.SetHelp(metricGoroutines, "Current number of goroutines.")
+	reg.SetHelp(metricHeapAlloc, "Bytes of allocated heap objects.")
+	reg.SetHelp(metricHeapSys, "Bytes of heap memory obtained from the OS.")
+	reg.SetHelp(metricGCCycles, "Completed GC cycles since process start.")
+	reg.SetHelp(metricGCPause, "Cumulative GC stop-the-world pause, seconds.")
+	reg.SetHelp(metricGCCPUFraction, "Fraction of available CPU consumed by the GC since process start.")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		reg.Gauge(metricGoroutines).Set(float64(runtime.NumGoroutine()))
+		reg.Gauge(metricHeapAlloc).Set(float64(ms.HeapAlloc))
+		reg.Gauge(metricHeapSys).Set(float64(ms.HeapSys))
+		reg.Gauge(metricGCCycles).Set(float64(ms.NumGC))
+		reg.Gauge(metricGCPause).Set(float64(ms.PauseTotalNs) / 1e9)
+		reg.Gauge(metricGCCPUFraction).Set(ms.GCCPUFraction)
+	}
+	sample()
+
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

@@ -1,0 +1,506 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the span half of the telemetry layer: hierarchical
+// wall-clock spans over the admission pipeline (HTTP decode, scheduler
+// lock wait, Algorithm 2 placement, BE solve, journal fsync), emitted as
+// JSONL and as Chrome trace-event JSON (loadable in chrome://tracing and
+// Perfetto), fed into per-stage latency histograms, and retained in a
+// bounded flight-recorder ring that can be dumped on SLO breach, panic,
+// or operator request.
+//
+// The same nil-safety discipline as Tracer applies: a nil *SpanTracer
+// hands out nil *Spans whose methods are no-ops and allocate nothing, so
+// instrumented code creates and ends spans unconditionally and the hot
+// path stays allocation-free unless a tracer is attached.
+
+// SpanBuckets are the high-resolution latency buckets (seconds) used for
+// the per-stage span histograms: six per decade from 1µs to 10s, so
+// bucket-interpolated p999 estimates stay within ~40% of the true value
+// across the microsecond-decode to multi-second-solve range.
+var SpanBuckets = func() []float64 {
+	mants := []float64{1, 1.5, 2, 3, 5, 7}
+	var b []float64
+	for exp := 1e-6; exp < 10; exp *= 10 {
+		for _, m := range mants {
+			b = append(b, m*exp)
+		}
+	}
+	return append(b, 10)
+}()
+
+// metricSpanSeconds is the per-stage latency histogram family maintained
+// by a SpanTracer with a Metrics registry attached.
+const metricSpanSeconds = "sparcle_span_seconds"
+
+// SpanRecord is one finished span, as written to the JSONL stream and
+// held in the flight-recorder ring. Times are microseconds: Start is
+// relative to the tracer's epoch (monotonic), Dur is the span length.
+type SpanRecord struct {
+	Trace  uint64 `json:"trace"`
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Start  int64  `json:"ts"`
+	Dur    int64  `json:"dur"`
+	// Attrs carries the span's attributes; string, integer and float
+	// values as set.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanOptions configures a SpanTracer. All sinks are optional; a tracer
+// with no sinks still feeds the flight recorder.
+type SpanOptions struct {
+	// JSONL, when non-nil, receives one JSON object per finished span.
+	JSONL io.Writer
+	// Chrome, when non-nil, receives a streaming Chrome trace-event array
+	// (one complete-event per span); Close finishes the array. The file
+	// loads directly in chrome://tracing and Perfetto.
+	Chrome io.Writer
+	// Metrics, when non-nil, receives a per-stage latency histogram
+	// sparcle_span_seconds{span="<name>"} (SpanBuckets resolution), which
+	// also backs Stages.
+	Metrics *Registry
+	// FlightSize bounds the flight-recorder ring: the most recent
+	// FlightSize root span trees are retained (default 64).
+	FlightSize int
+	// SLO, when > 0, marks a root span slower than it as a breach: the
+	// flight ring is dumped to DumpDir (at most once per second).
+	SLO time.Duration
+	// DumpDir is where SLO/panic flight dumps are written as Chrome trace
+	// files; empty disables dumping to disk (the ring is still served by
+	// Flight).
+	DumpDir string
+}
+
+// SpanTracer records hierarchical spans. A nil *SpanTracer is the
+// disabled tracer: Enabled reports false, Start returns a nil *Span, and
+// the whole instrumentation layer costs nothing.
+type SpanTracer struct {
+	opt   SpanOptions
+	epoch time.Time
+
+	nextTrace atomic.Uint64
+	nextSpan  atomic.Uint64
+
+	mu         sync.Mutex
+	jsonl      *bufio.Writer
+	jsonlEnc   *json.Encoder
+	chrome     *bufio.Writer
+	chromeOpen bool // "[" written
+	ring       [][]SpanRecord
+	ringNext   int
+	ringFull   bool
+	stageHist  map[string]*Histogram
+	breaches   uint64
+	dumpSeq    uint64
+	lastDump   time.Time
+}
+
+// NewSpanTracer returns a span tracer with the given sinks.
+func NewSpanTracer(opt SpanOptions) *SpanTracer {
+	if opt.FlightSize <= 0 {
+		opt.FlightSize = 64
+	}
+	t := &SpanTracer{
+		opt:       opt,
+		epoch:     time.Now(),
+		ring:      make([][]SpanRecord, opt.FlightSize),
+		stageHist: map[string]*Histogram{},
+	}
+	if opt.JSONL != nil {
+		t.jsonl = bufio.NewWriter(opt.JSONL)
+		t.jsonlEnc = json.NewEncoder(t.jsonl)
+	}
+	if opt.Chrome != nil {
+		t.chrome = bufio.NewWriter(opt.Chrome)
+	}
+	return t
+}
+
+// Enabled reports whether spans will be recorded; it is the hot-path
+// guard equivalent of Tracer.Enabled.
+func (t *SpanTracer) Enabled() bool { return t != nil }
+
+// Start opens a root span: a new trace is allocated and every descendant
+// created through Child lands in the same trace buffer. Returns nil (the
+// free no-op span) on a nil tracer.
+func (t *SpanTracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{
+		tracer: t,
+		name:   name,
+		start:  time.Now(),
+		trace:  t.nextTrace.Add(1),
+		id:     t.nextSpan.Add(1),
+	}
+	sp.buf = &traceBuf{}
+	return sp
+}
+
+// Span is one timed stage of a trace. A span is created by
+// SpanTracer.Start or Span.Child, annotated with SetAttr/SetInt/SetFloat,
+// and finished exactly once with End. All methods are no-ops on a nil
+// receiver. A single span must not be shared across goroutines;
+// concurrent sibling spans of one trace are safe.
+type Span struct {
+	tracer *SpanTracer
+	buf    *traceBuf
+	trace  uint64
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  map[string]any
+	ended  bool
+}
+
+// traceBuf accumulates the finished spans of one trace until its root
+// ends. Children may end from concurrent goroutines.
+type traceBuf struct {
+	mu   sync.Mutex
+	recs []SpanRecord
+	done bool
+}
+
+// Child opens a sub-span of sp. On a nil receiver it returns nil, so
+// deep instrumentation chains are free when tracing is disabled.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return &Span{
+		tracer: sp.tracer,
+		buf:    sp.buf,
+		trace:  sp.trace,
+		id:     sp.tracer.nextSpan.Add(1),
+		parent: sp.id,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// SetAttr attaches a string attribute.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	if sp.attrs == nil {
+		sp.attrs = map[string]any{}
+	}
+	sp.attrs[key] = value
+}
+
+// SetInt attaches an integer attribute.
+func (sp *Span) SetInt(key string, value int64) {
+	if sp == nil {
+		return
+	}
+	if sp.attrs == nil {
+		sp.attrs = map[string]any{}
+	}
+	sp.attrs[key] = value
+}
+
+// SetFloat attaches a float attribute (±Inf/NaN-safe via Float).
+func (sp *Span) SetFloat(key string, value float64) {
+	if sp == nil {
+		return
+	}
+	if sp.attrs == nil {
+		sp.attrs = map[string]any{}
+	}
+	sp.attrs[key] = Float(value)
+}
+
+// Duration returns the time elapsed since the span started (0 on nil).
+func (sp *Span) Duration() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return time.Since(sp.start)
+}
+
+// End finishes the span, recording it into its trace. Ending the root
+// span flushes the whole trace to the tracer's sinks and the flight
+// ring; children ended after their root are dropped. Ending twice is a
+// no-op.
+func (sp *Span) End() {
+	if sp == nil || sp.ended {
+		return
+	}
+	sp.ended = true
+	end := time.Now()
+	rec := SpanRecord{
+		Trace:  sp.trace,
+		Span:   sp.id,
+		Parent: sp.parent,
+		Name:   sp.name,
+		Start:  sp.start.Sub(sp.tracer.epoch).Microseconds(),
+		Dur:    end.Sub(sp.start).Microseconds(),
+		Attrs:  sp.attrs,
+	}
+	sp.buf.mu.Lock()
+	if sp.buf.done {
+		sp.buf.mu.Unlock()
+		return
+	}
+	sp.buf.recs = append(sp.buf.recs, rec)
+	var recs []SpanRecord
+	if sp.parent == 0 {
+		sp.buf.done = true
+		recs = sp.buf.recs
+	}
+	sp.buf.mu.Unlock()
+	if recs != nil {
+		sp.tracer.flushTrace(recs, end.Sub(sp.start))
+	}
+}
+
+// flushTrace records one finished trace: per-stage histograms, JSONL and
+// Chrome events, the flight ring, and the SLO breach check.
+func (t *SpanTracer) flushTrace(recs []SpanRecord, rootDur time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opt.Metrics != nil {
+		for i := range recs {
+			h, ok := t.stageHist[recs[i].Name]
+			if !ok {
+				t.opt.Metrics.SetHelp(metricSpanSeconds, "Latency of admission-pipeline stages by span name, seconds.")
+				h = t.opt.Metrics.Histogram(metricSpanSeconds, SpanBuckets, L("span", recs[i].Name))
+				t.stageHist[recs[i].Name] = h
+			}
+			h.Observe(float64(recs[i].Dur) / 1e6)
+		}
+	}
+	if t.jsonlEnc != nil {
+		for i := range recs {
+			_ = t.jsonlEnc.Encode(&recs[i])
+		}
+	}
+	if t.chrome != nil {
+		for i := range recs {
+			t.writeChromeEventLocked(&recs[i])
+		}
+	}
+	t.ring[t.ringNext] = recs
+	t.ringNext++
+	if t.ringNext == len(t.ring) {
+		t.ringNext = 0
+		t.ringFull = true
+	}
+	if t.opt.SLO > 0 && rootDur > t.opt.SLO {
+		t.breaches++
+		t.dumpLocked("slo")
+	}
+}
+
+// writeChromeEventLocked appends one complete-event to the streaming
+// Chrome array.
+func (t *SpanTracer) writeChromeEventLocked(rec *SpanRecord) {
+	if !t.chromeOpen {
+		t.chrome.WriteString("[\n")
+		t.chromeOpen = true
+	} else {
+		t.chrome.WriteString(",\n")
+	}
+	writeChromeEvent(t.chrome, rec)
+}
+
+// chromeEvent is the trace-event JSON shape: one complete event ("X")
+// per span, with the trace id as the thread so each admission renders as
+// its own row.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func writeChromeEvent(w io.Writer, rec *SpanRecord) {
+	args := map[string]any{"span": rec.Span}
+	if rec.Parent != 0 {
+		args["parent"] = rec.Parent
+	}
+	for k, v := range rec.Attrs {
+		args[k] = v
+	}
+	b, err := json.Marshal(chromeEvent{
+		Name: rec.Name, Cat: "sparcle", Ph: "X",
+		TS: rec.Start, Dur: rec.Dur, PID: 1, TID: rec.Trace, Args: args,
+	})
+	if err != nil {
+		return
+	}
+	w.Write(b)
+}
+
+// WriteChromeTrace renders traces (e.g. the Flight ring) as one Chrome
+// trace-event array.
+func WriteChromeTrace(w io.Writer, traces [][]SpanRecord) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	for _, recs := range traces {
+		for i := range recs {
+			if !first {
+				bw.WriteString(",\n")
+			}
+			first = false
+			writeChromeEvent(bw, &recs[i])
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// Flight returns the flight-recorder contents, oldest trace first. A nil
+// tracer returns nil.
+func (t *SpanTracer) Flight() [][]SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flightLocked()
+}
+
+func (t *SpanTracer) flightLocked() [][]SpanRecord {
+	var out [][]SpanRecord
+	if t.ringFull {
+		out = append(out, t.ring[t.ringNext:]...)
+	}
+	out = append(out, t.ring[:t.ringNext]...)
+	return out
+}
+
+// Breaches returns the number of root spans that exceeded the SLO.
+func (t *SpanTracer) Breaches() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.breaches
+}
+
+// DumpFlight writes the flight ring to DumpDir as a Chrome trace file
+// named flight-<reason>-<n>.json and returns its path. Used on panic and
+// on demand; SLO breaches dump automatically. Without a DumpDir it
+// returns "" and no error.
+func (t *SpanTracer) DumpFlight(reason string) (string, error) {
+	if t == nil {
+		return "", nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dumpFileLocked(reason, false)
+}
+
+// dumpLocked is the SLO-breach dump: best effort and throttled to one
+// file per second so a latency storm cannot flood the disk.
+func (t *SpanTracer) dumpLocked(reason string) {
+	_, _ = t.dumpFileLocked(reason, true)
+}
+
+func (t *SpanTracer) dumpFileLocked(reason string, throttle bool) (string, error) {
+	if t.opt.DumpDir == "" {
+		return "", nil
+	}
+	now := time.Now()
+	if throttle && now.Sub(t.lastDump) < time.Second {
+		return "", nil
+	}
+	t.lastDump = now
+	t.dumpSeq++
+	if err := os.MkdirAll(t.opt.DumpDir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	path := filepath.Join(t.opt.DumpDir, fmt.Sprintf("flight-%s-%06d.json", reason, t.dumpSeq))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	werr := WriteChromeTrace(f, t.flightLocked())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", fmt.Errorf("obs: flight dump: %w", werr)
+	}
+	return path, nil
+}
+
+// StageStats summarizes one pipeline stage's latency distribution, with
+// quantiles estimated from the stage histogram's buckets.
+type StageStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sumSeconds"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Stages returns per-stage latency statistics for every span name seen
+// so far. Requires a Metrics registry; without one (or on a nil tracer)
+// the map is empty.
+func (t *SpanTracer) Stages() map[string]StageStats {
+	out := map[string]StageStats{}
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name, h := range t.stageHist {
+		out[name] = StageStats{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	return out
+}
+
+// Close flushes the JSONL stream and finishes the Chrome array. It does
+// not close the underlying writers (the caller owns the files).
+func (t *SpanTracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var err error
+	if t.jsonl != nil {
+		err = t.jsonl.Flush()
+	}
+	if t.chrome != nil {
+		if t.chromeOpen {
+			t.chrome.WriteString("\n]\n")
+		} else {
+			t.chrome.WriteString("[]\n")
+		}
+		if ferr := t.chrome.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}

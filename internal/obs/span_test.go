@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanTree exercises the full span pipeline: a root with nested and
+// sibling children lands in the JSONL stream with correct parent
+// linkage, in the Chrome stream as valid trace-event JSON, in the
+// per-stage histograms, and in the flight ring.
+func TestSpanTree(t *testing.T) {
+	var jsonl, chrome bytes.Buffer
+	reg := NewRegistry()
+	st := NewSpanTracer(SpanOptions{JSONL: &jsonl, Chrome: &chrome, Metrics: reg})
+
+	root := st.Start("http.submit")
+	root.SetAttr("app", "cam0")
+	dec := root.Child("http.decode")
+	dec.SetInt("bytes", 512)
+	dec.End()
+	sub := root.Child("core.submit")
+	asn := sub.Child("assign.path")
+	asn.SetFloat("gamma", 12.5)
+	asn.End()
+	sub.End()
+	root.End()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []SpanRecord
+	decoder := json.NewDecoder(&jsonl)
+	for decoder.More() {
+		var r SpanRecord
+		if err := decoder.Decode(&r); err != nil {
+			t.Fatalf("decode jsonl: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d spans, want 4", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		if r.Trace != recs[0].Trace {
+			t.Fatalf("span %q in trace %d, want %d", r.Name, r.Trace, recs[0].Trace)
+		}
+	}
+	rootRec := byName["http.submit"]
+	if rootRec.Parent != 0 {
+		t.Fatalf("root has parent %d", rootRec.Parent)
+	}
+	if byName["http.decode"].Parent != rootRec.Span || byName["core.submit"].Parent != rootRec.Span {
+		t.Fatal("children not linked to root")
+	}
+	if byName["assign.path"].Parent != byName["core.submit"].Span {
+		t.Fatal("grandchild not linked to its parent")
+	}
+	if got := rootRec.Attrs["app"]; got != "cam0" {
+		t.Fatalf("root attr = %v", got)
+	}
+	if rootRec.Dur < byName["core.submit"].Dur {
+		t.Fatal("root shorter than its child")
+	}
+
+	// The Chrome stream must be one well-formed JSON array of complete
+	// events covering every span.
+	var events []map[string]any
+	if err := json.Unmarshal(chrome.Bytes(), &events); err != nil {
+		t.Fatalf("chrome stream not valid JSON: %v\n%s", err, chrome.String())
+	}
+	if len(events) != 4 {
+		t.Fatalf("chrome events = %d, want 4", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" || e["cat"] != "sparcle" {
+			t.Fatalf("bad event %v", e)
+		}
+	}
+
+	// Per-stage histograms were fed.
+	if n := reg.Histogram(metricSpanSeconds, SpanBuckets, L("span", "http.submit")).Count(); n != 1 {
+		t.Fatalf("stage histogram count = %d", n)
+	}
+	stages := st.Stages()
+	if len(stages) != 4 || stages["http.decode"].Count != 1 {
+		t.Fatalf("stages = %v", stages)
+	}
+
+	// And the trace is in the flight ring.
+	fl := st.Flight()
+	if len(fl) != 1 || len(fl[0]) != 4 {
+		t.Fatalf("flight = %d traces", len(fl))
+	}
+}
+
+// TestSpanFlightRing checks the ring is bounded and oldest-first.
+func TestSpanFlightRing(t *testing.T) {
+	st := NewSpanTracer(SpanOptions{FlightSize: 3})
+	for i := 0; i < 5; i++ {
+		sp := st.Start("op")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	fl := st.Flight()
+	if len(fl) != 3 {
+		t.Fatalf("flight holds %d traces, want 3", len(fl))
+	}
+	for k, want := range []int64{2, 3, 4} {
+		if got := fl[k][0].Attrs["i"].(int64); got != want {
+			t.Fatalf("flight[%d] = op %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestSpanSLODump verifies that a root span slower than the SLO dumps
+// the flight ring to disk as a loadable Chrome trace.
+func TestSpanSLODump(t *testing.T) {
+	// A dump directory that does not exist yet must be created on first
+	// dump — servers pass -flight-dir without pre-creating it.
+	dir := filepath.Join(t.TempDir(), "dumps")
+	st := NewSpanTracer(SpanOptions{SLO: time.Microsecond, DumpDir: dir})
+	sp := st.Start("slow")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if st.Breaches() != 1 {
+		t.Fatalf("breaches = %d", st.Breaches())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "flight-slo-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("dump files = %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("dump not valid chrome JSON: %v", err)
+	}
+	if len(events) != 1 || events[0]["name"] != "slow" {
+		t.Fatalf("dump events = %v", events)
+	}
+
+	// Manual dumps work regardless of SLO and are not throttled.
+	path, err := st.DumpFlight("panic")
+	if err != nil || !strings.Contains(path, "flight-panic-") {
+		t.Fatalf("manual dump: %q, %v", path, err)
+	}
+}
+
+// TestSpanDisabledZeroAlloc pins the acceptance criterion: the disabled
+// span layer (nil tracer, nil spans) performs zero allocations through
+// an entire instrumented stage chain.
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	var st *SpanTracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := st.Start("http.submit")
+		root.SetAttr("app", "x")
+		child := root.Child("core.submit")
+		child.SetInt("paths", 2)
+		grand := child.Child("assign.path")
+		grand.SetFloat("gamma", 1.5)
+		grand.End()
+		child.End()
+		if root.Duration() != 0 {
+			t.Fatal("nil span has a duration")
+		}
+		root.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span chain allocates %v per run, want 0", allocs)
+	}
+	if st.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if st.Flight() != nil || st.Breaches() != 0 {
+		t.Fatal("nil tracer flight state not empty")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanConcurrentTraces hammers the tracer from many goroutines, each
+// building its own trace, as concurrent HTTP requests do before the
+// scheduler lock serializes them. Run under -race in CI.
+func TestSpanConcurrentTraces(t *testing.T) {
+	var chrome bytes.Buffer
+	st := NewSpanTracer(SpanOptions{Chrome: &chrome, Metrics: NewRegistry(), FlightSize: 8})
+	var wg sync.WaitGroup
+	const workers = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				root := st.Start("req")
+				c1 := root.Child("decode")
+				c1.End()
+				c2 := root.Child("submit")
+				c2.Child("assign").End()
+				c2.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(chrome.Bytes(), &events); err != nil {
+		t.Fatalf("chrome stream invalid after concurrent use: %v", err)
+	}
+	if len(events) != workers*50*4 {
+		t.Fatalf("events = %d, want %d", len(events), workers*50*4)
+	}
+	if got := st.Stages()["req"].Count; got != workers*50 {
+		t.Fatalf("req stage count = %d", got)
+	}
+}
+
+// TestSpanLateChildDropped: a child ended after its root must not
+// corrupt a later trace's buffer.
+func TestSpanLateChildDropped(t *testing.T) {
+	st := NewSpanTracer(SpanOptions{})
+	root := st.Start("op")
+	late := root.Child("late")
+	root.End()
+	late.End() // dropped, not appended to a flushed trace
+	fl := st.Flight()
+	if len(fl) != 1 || len(fl[0]) != 1 {
+		t.Fatalf("flight = %v", fl)
+	}
+	// Double End is a no-op.
+	root.End()
+	if len(st.Flight()) != 1 {
+		t.Fatal("double End flushed twice")
+	}
+}

@@ -85,10 +85,15 @@ func (s *Server) EnableJournal(dir string, opt journal.Options, snapshotEvery in
 
 	s.journal = j
 	s.sched.SetCommitHook(func(rec *core.Record) error {
-		if _, err := j.Append("op", rec); err != nil {
+		// The hook runs inside a scheduler operation, so its append (and
+		// fsync) spans nest under that operation's span; with spans
+		// disabled OpSpan is nil and AppendSpan behaves exactly as Append.
+		if _, err := j.AppendSpan(s.sched.OpSpan(), "op", rec); err != nil {
 			return err
 		}
 		if snapshotEvery > 0 && j.SinceSnapshot() >= snapshotEvery {
+			ssp := s.sched.OpSpan().Child("journal.snapshot")
+			defer ssp.End()
 			snap, err := s.sched.ExportSnapshot()
 			if err != nil {
 				return fmt.Errorf("export snapshot: %w", err)

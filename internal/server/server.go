@@ -61,6 +61,8 @@ type Server struct {
 	// recovering gates mutating routes behind 503 while journal recovery
 	// rebuilds the scheduler.
 	recovering atomic.Bool
+	// spans is non-nil once EnableSpans armed request tracing (spans.go).
+	spans *obs.SpanTracer
 }
 
 // New returns a Server scheduling onto net. The server always carries a
@@ -94,6 +96,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/latency", s.handleLatency)
 	mux.HandleFunc("GET /network", s.handleNetwork)
 	mux.HandleFunc("GET /apps", s.handleListApps)
 	mux.HandleFunc("POST /apps", s.handleSubmit)
@@ -119,6 +123,9 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				panic(rec)
 			}
 			s.metrics.Counter("sparcle_http_panics_total").Inc()
+			// Preserve the evidence: the flight ring holds the traces
+			// leading up to the panic (nil-safe, no-op without a dump dir).
+			_, _ = s.spans.DumpFlight("panic")
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
 		}()
 		s.requests.Add(1)
@@ -140,6 +147,25 @@ type healthzResponse struct {
 	UptimeSeconds float64        `json:"uptimeSeconds"`
 	Apps          map[string]int `json:"apps"`
 	Requests      uint64         `json:"requests"`
+	Journal       journalHealth  `json:"journal"`
+}
+
+// journalHealth is the durability section of /healthz: whether a
+// write-ahead journal is armed, its fsync policy, the last committed
+// record index, how far the log has grown past the newest snapshot, and
+// whether recovery is still rebuilding the scheduler.
+type journalHealth struct {
+	Enabled bool `json:"enabled"`
+	// Fsync is the policy spelling ("always", "interval", "never").
+	Fsync string `json:"fsync,omitempty"`
+	// LastSeq is the sequence number of the last committed record; an
+	// operator comparing it across replicas sees which is ahead.
+	LastSeq uint64 `json:"lastSeq,omitempty"`
+	// SinceSnapshot is the replay bound a crash right now would pay.
+	SinceSnapshot int  `json:"sinceSnapshot,omitempty"`
+	Recovering    bool `json:"recovering"`
+	// RecoverySeconds is the duration of the last completed recovery.
+	RecoverySeconds float64 `json:"recoverySeconds,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -148,12 +174,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		core.GuaranteedRate.String(): len(s.sched.GRApps()),
 		core.BestEffort.String():     len(s.sched.BEApps()),
 	}
+	j := s.journal
 	s.mu.Unlock()
+	jh := journalHealth{Recovering: s.recovering.Load()}
+	if j != nil {
+		jh.Enabled = true
+		jh.Fsync = j.FsyncPolicy().String()
+		jh.LastSeq = j.LastSeq()
+		jh.SinceSnapshot = j.SinceSnapshot()
+		jh.RecoverySeconds = s.metrics.Gauge(metricRecovery).Value()
+	}
 	writeJSON(w, http.StatusOK, healthzResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Apps:          apps,
 		Requests:      s.requests.Load(),
+		Journal:       jh,
 	})
 }
 
@@ -262,17 +298,26 @@ func (s *Server) appView(pa *core.PlacedApp) appView {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	root := s.spans.Start("http.submit")
+	defer root.End()
+	dsp := root.Child("http.decode")
 	var spec scenario.AppSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	err := dec.Decode(&spec)
+	dsp.End()
+	if err != nil {
+		root.SetAttr("outcome", "bad-request")
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode app spec: %v", err)})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	root.SetAttr("app", spec.Name)
+	defer s.lockWithSpan(root)()
+	bsp := root.Child("http.build")
 	app, err := scenario.BuildApp(spec, s.net)
+	bsp.End()
 	if err != nil {
+		root.SetAttr("outcome", "bad-request")
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -288,9 +333,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, core.ErrRejected) {
 			status = http.StatusConflict
 		}
+		root.SetAttr("outcome", "rejected")
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
+	root.SetAttr("outcome", "admitted")
 	writeJSON(w, http.StatusCreated, s.appView(pa))
 }
 
@@ -319,15 +366,20 @@ type batchResponse struct {
 // input. Only a durability failure (journal append lost) or a whole-batch
 // allocation failure changes the status.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	root := s.spans.Start("http.batch")
+	defer root.End()
+	dsp := root.Child("http.decode")
 	var req batchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	dsp.End()
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	root.SetInt("apps", int64(len(req.Apps)))
+	defer s.lockWithSpan(root)()
 
 	taken := map[string]bool{}
 	for _, existing := range append(s.sched.GRApps(), s.sched.BEApps()...) {
@@ -377,8 +429,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	root := s.spans.Start("http.remove")
+	defer root.End()
+	root.SetAttr("app", name)
+	defer s.lockWithSpan(root)()
 	if err := s.sched.Remove(name); err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrNotFound) {
@@ -392,8 +446,10 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	root := s.spans.Start("http.repair")
+	defer root.End()
+	root.SetAttr("app", name)
+	defer s.lockWithSpan(root)()
 	pa, err := s.sched.Repair(name)
 	if err != nil {
 		var status int
@@ -423,15 +479,19 @@ type fluctuationResponse struct {
 }
 
 func (s *Server) handleFluctuation(w http.ResponseWriter, r *http.Request) {
+	root := s.spans.Start("http.fluctuation")
+	defer root.End()
+	dsp := root.Child("http.decode")
 	var req fluctuationRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	dsp.End()
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode fluctuation: %v", err)})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockWithSpan(root)()
 	scale := core.ElementScale{}
 	for key, factor := range req.Scale {
 		elem, err := s.parseElement(key)

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sparcle/internal/journal"
+	"sparcle/internal/network"
+	"sparcle/internal/obs"
+	"sparcle/internal/resource"
+)
+
+// spanServer builds a journaled server with span tracing armed, returning
+// the test server, the tracer and the JSONL sink.
+func spanServer(t *testing.T) (*httptest.Server, *obs.SpanTracer, *bytes.Buffer) {
+	t.Helper()
+	b := network.NewBuilder("test")
+	src := b.AddNCP("src", nil, 0)
+	m1 := b.AddNCP("m1", resource.Vector{resource.CPU: 100}, 0)
+	m2 := b.AddNCP("m2", resource.Vector{resource.CPU: 80}, 0)
+	snk := b.AddNCP("snk", nil, 0)
+	b.AddLink("s1", src, m1, 1e6, 0)
+	b.AddLink("s2", src, m2, 1e6, 0)
+	b.AddLink("k1", m1, snk, 1e6, 0)
+	b.AddLink("k2", m2, snk, 1e6, 0)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(net)
+	var jsonl bytes.Buffer
+	st := obs.NewSpanTracer(obs.SpanOptions{JSONL: &jsonl, Metrics: srv.Metrics()})
+	srv.EnableSpans(st)
+	if err := srv.EnableJournal(t.TempDir(), journal.Options{Fsync: journal.SyncAlways}, 0); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Close() })
+	return ts, st, &jsonl
+}
+
+// TestSubmitSpanTree is the acceptance check of the span layer: one
+// admission through the HTTP API produces a single trace whose tree runs
+// decode -> lock wait -> scheduler submit -> placement -> allocation
+// solve -> journal append -> journal fsync, all correctly parented.
+func TestSubmitSpanTree(t *testing.T) {
+	ts, st, jsonl := spanServer(t)
+	resp, body := do(t, http.MethodPost, ts.URL+"/apps", appJSON("pipe", "best-effort", `, "priority": 1`))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]obs.SpanRecord{}
+	var trace uint64
+	decoder := json.NewDecoder(jsonl)
+	for decoder.More() {
+		var r obs.SpanRecord
+		if err := decoder.Decode(&r); err != nil {
+			t.Fatalf("decode span: %v", err)
+		}
+		if trace == 0 {
+			trace = r.Trace
+		}
+		if r.Trace != trace {
+			t.Fatalf("span %q escaped into trace %d (want %d)", r.Name, r.Trace, trace)
+		}
+		byName[r.Name] = r
+	}
+
+	// The admission path, bottom-up: every stage must be present and
+	// parented under the stage that invoked it.
+	for child, parent := range map[string]string{
+		"http.decode":    "http.submit",
+		"lock.wait":      "http.submit",
+		"http.build":     "http.submit",
+		"core.submit":    "http.submit",
+		"alloc.predict":  "core.submit",
+		"assign.path":    "core.submit",
+		"assign.rank":    "assign.path",
+		"assign.place":   "assign.path",
+		"avail.analyze":  "core.submit",
+		"alloc.solve":    "core.submit",
+		"journal.append": "core.submit",
+		"journal.fsync":  "journal.append",
+	} {
+		c, ok := byName[child]
+		if !ok {
+			t.Errorf("stage %q missing from trace", child)
+			continue
+		}
+		p, ok := byName[parent]
+		if !ok {
+			t.Errorf("parent stage %q missing from trace", parent)
+			continue
+		}
+		if c.Parent != p.Span {
+			t.Errorf("%q parented under span %d, want %q (%d)", child, c.Parent, parent, p.Span)
+		}
+	}
+	if root := byName["http.submit"]; root.Parent != 0 {
+		t.Errorf("http.submit is not the root (parent %d)", root.Parent)
+	}
+	if got := byName["http.submit"].Attrs["outcome"]; got != "admitted" {
+		t.Errorf("root outcome attr = %v", got)
+	}
+}
+
+// TestDebugFlightAndLatency checks the flight-recorder route serves a
+// parseable Chrome trace and the latency route serves per-stage
+// quantiles after traffic.
+func TestDebugFlightAndLatency(t *testing.T) {
+	ts, _, _ := spanServer(t)
+	if resp, body := do(t, http.MethodPost, ts.URL+"/apps", appJSON("a", "best-effort", `, "priority": 1`)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/debug/flight", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flight: %d", resp.StatusCode)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("flight not a chrome trace: %v\n%s", err, body)
+	}
+	if len(events) == 0 {
+		t.Fatal("flight ring empty after an admission")
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/debug/latency", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("latency: %d", resp.StatusCode)
+	}
+	var lat struct {
+		SLOBreaches uint64                    `json:"sloBreaches"`
+		Stages      map[string]obs.StageStats `json:"stages"`
+	}
+	if err := json.Unmarshal(body, &lat); err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := lat.Stages["core.submit"]
+	if !ok || sub.Count != 1 || sub.P50 <= 0 {
+		t.Fatalf("latency stages = %+v", lat.Stages)
+	}
+}
+
+// TestFlightDisabled: without EnableSpans the flight route answers 404
+// and the latency route serves an empty stage map.
+func TestFlightDisabled(t *testing.T) {
+	ts, _ := testServer(t)
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/debug/flight", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flight without spans: %d", resp.StatusCode)
+	}
+	resp, body := do(t, http.MethodGet, ts.URL+"/debug/latency", "")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"stages":{}`)) {
+		t.Fatalf("latency without spans: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestHealthzJournal checks the durability section of /healthz in both
+// the journaled and plain configurations.
+func TestHealthzJournal(t *testing.T) {
+	ts, _, _ := spanServer(t)
+	if resp, body := do(t, http.MethodPost, ts.URL+"/apps", appJSON("a", "best-effort", `, "priority": 1`)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	_, body := do(t, http.MethodGet, ts.URL+"/healthz", "")
+	var h healthzResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Journal.Enabled || h.Journal.Fsync != "always" {
+		t.Fatalf("journal health = %+v", h.Journal)
+	}
+	if h.Journal.LastSeq < 1 || h.Journal.SinceSnapshot < 1 {
+		t.Fatalf("journal progress missing: %+v", h.Journal)
+	}
+	if h.Journal.Recovering {
+		t.Fatal("recovering after startup")
+	}
+
+	tsPlain, _ := testServer(t)
+	_, body = do(t, http.MethodGet, tsPlain.URL+"/healthz", "")
+	var hp healthzResponse
+	if err := json.Unmarshal(body, &hp); err != nil {
+		t.Fatal(err)
+	}
+	if hp.Journal.Enabled || hp.Journal.Fsync != "" {
+		t.Fatalf("plain server reports a journal: %+v", hp.Journal)
+	}
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Black-box load smoke test: boot a span-instrumented sparcle-server on
+# the example scenario, fire a short open-loop Poisson run at it with
+# sparcle-load, and require (a) a nonzero number of admissions, (b) a
+# parseable non-empty Chrome trace from GET /debug/flight, and (c) a
+# BENCH_serve.json report carrying per-stage latency quantiles.
+set -euo pipefail
+
+rate=${RATE:-100}
+duration=${DURATION:-3s}
+min_admitted=${MIN_ADMITTED:-10}
+
+work=$(mktemp -d)
+trap 'kill "${pid:-}" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/sparcle" ./cmd/sparcle
+go build -o "$work/sparcle-server" ./cmd/sparcle-server
+go build -o "$work/sparcle-load" ./cmd/sparcle-load
+"$work/sparcle" -example > "$work/scenario.json"
+
+echo "== boot with span tracing armed"
+"$work/sparcle-server" -f "$work/scenario.json" -addr 127.0.0.1:0 \
+    -spans -spans-chrome "$work/trace.json" -flight 256 \
+    > "$work/server.log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^sparcle-server listening on \([^ ]*\).*/\1/p' "$work/server.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$work/server.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never became ready:"; cat "$work/server.log"; exit 1; }
+
+echo "== open-loop run: rate=$rate for $duration (floor: $min_admitted admissions)"
+"$work/sparcle-load" -addr "$addr" -rate "$rate" -duration "$duration" \
+    -keep 16 -out "$work/BENCH_serve.json" \
+    -min-admitted "$min_admitted" -check-flight
+
+echo "== report sanity"
+grep -q '"admissionsPerSec"' "$work/BENCH_serve.json"
+grep -q '"core.submit"' "$work/BENCH_serve.json"
+
+echo "== server-side Chrome trace parses after shutdown"
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+python3 - "$work/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace empty"
+assert all(e.get("ph") == "X" for e in events), "unexpected event phase"
+names = {e["name"] for e in events}
+for stage in ("http.submit", "core.submit", "assign.rank"):
+    assert stage in names, f"stage {stage} missing from trace: {sorted(names)}"
+print(f"trace ok: {len(events)} events, {len(names)} distinct stages")
+EOF
+
+echo "PASS: load smoke complete"
