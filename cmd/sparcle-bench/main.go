@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	sparcle-bench [-experiment all|fig6|fig8|fig9|fig10a|fig10b|fig11|fig12|fig13|fig14] [-trials N] [-seed S]
+//	sparcle-bench [-experiment all|fig6|fig8|fig9|fig10a|fig10b|fig11|fig12|fig13|fig14] [-trials N] [-seed S] [-cells N]
+//
+// Independent experiment cells run concurrently across GOMAXPROCS
+// workers with an ordered reduction, so the printed output is
+// byte-identical to a serial run; -cells bounds the concurrency
+// (-cells 1 forces serial).
 package main
 
 import (
@@ -13,7 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"sparcle/internal/expt"
 )
@@ -29,11 +37,12 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sparcle-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run (all, table1, table2, fig6, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13, fig14, failure, latency, scaling, fairness, backpressure, churn, chaos)")
+	experiment := fs.String("experiment", "all", "which experiment to run (all, table1, table2, fig6, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13, fig14, failure, latency, scaling, fairness, backpressure, churn, chaos, shard)")
 	trials := fs.Int("trials", 0, "trials per cell (0 = experiment default)")
 	seed := fs.Int64("seed", 1, "random seed")
 	asJSON := fs.Bool("json", false, "emit raw experiment results as JSON instead of text tables")
 	parallel := fs.Int("parallel", 0, "candidate-scoring goroutines per ranking iteration (0 = GOMAXPROCS, 1 = serial)")
+	cells := fs.Int("cells", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial); output order is unchanged")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,27 +71,65 @@ func run(args []string, out io.Writer) error {
 		{"backpressure", func(c expt.Config) (tabler, error) { return expt.Backpressure(c) }},
 		{"churn", func(c expt.Config) (tabler, error) { return expt.Churn(c) }},
 		{"chaos", func(c expt.Config) (tabler, error) { return expt.Chaos(c) }},
+		{"shard", func(c expt.Config) (tabler, error) { return expt.ShardScaling(c) }},
 	}
 
-	ran := false
-	jsonOut := map[string]interface{}{}
-	for _, e := range experiments {
-		if *experiment != "all" && !strings.EqualFold(*experiment, e.name) {
-			continue
+	var selected []int
+	for i, e := range experiments {
+		if *experiment == "all" || strings.EqualFold(*experiment, e.name) {
+			selected = append(selected, i)
 		}
-		ran = true
-		res, err := e.run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+
+	// Run the selected cells concurrently with an ordered reduction:
+	// workers pull cell indices from a shared counter, results land in
+	// their input slot, and printing walks the slots in order — the
+	// output is byte-identical to a serial run (each experiment derives
+	// its randomness from its own Config.Seed rng, never shared state).
+	workers := *cells
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	type outcome struct {
+		res tabler
+		err error
+	}
+	results := make([]outcome, len(selected))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(selected) {
+					return
+				}
+				res, err := experiments[selected[j]].run(cfg)
+				results[j] = outcome{res: res, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	jsonOut := map[string]interface{}{}
+	for j, i := range selected {
+		e := experiments[i]
+		if results[j].err != nil {
+			return fmt.Errorf("%s: %w", e.name, results[j].err)
 		}
 		if *asJSON {
-			jsonOut[e.name] = res
+			jsonOut[e.name] = results[j].res
 			continue
 		}
-		fmt.Fprintln(out, res.Table().String())
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", *experiment)
+		fmt.Fprintln(out, results[j].res.Table().String())
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)

@@ -11,7 +11,8 @@
 //
 //	sparcle-load -addr host:port [-rate 50] [-duration 10s] [-seed 1]
 //	             [-keep 32] [-max-inflight 256] [-alpha 1.3] [-max-cts 8]
-//	             [-out BENCH_serve.json] [-min-admitted 0] [-check-flight]
+//	             [-out BENCH_serve.json] [-append] [-label name]
+//	             [-min-admitted 0] [-check-flight]
 //
 // The generator calibrates CT requirements and TT bits from GET /network
 // (a fraction of the median NCP capacity and link bandwidth), keeps at
@@ -19,6 +20,13 @@
 // admission, and scrapes GET /debug/latency for the server's span-level
 // stage attribution. -min-admitted and -check-flight turn the run into a
 // self-validating smoke test for CI.
+//
+// With -append, the report is appended to a {"ladder": [...]} document
+// in -out instead of overwriting it (an existing single report becomes
+// the ladder's first entry), and -label names the entry — this is how
+// scripts/bench_serve.sh builds the multi-configuration serving ladder
+// in BENCH_serve.json. The report's config block records the server's
+// shard count, scraped from GET /healthz.
 package main
 
 import (
@@ -64,7 +72,10 @@ type netInfo struct {
 	} `json:"links"`
 }
 
-// report is the BENCH_serve.json document.
+// report is one run's benchmark document. BENCH_serve.json holds either
+// a single report (legacy) or, with -append, a ladder document
+// {"ladder": [report, ...]} accumulating runs (e.g. the sharded
+// throughput ladder: the same load offered at -shards 1, 2, 4).
 type report struct {
 	Config struct {
 		Addr        string  `json:"addr"`
@@ -76,6 +87,11 @@ type report struct {
 		Alpha       float64 `json:"alpha"`
 		MaxCTs      int     `json:"maxCTs"`
 		Network     string  `json:"network"`
+		// Label annotates the run in a ladder ("shards=4").
+		Label string `json:"label,omitempty"`
+		// Shards is the server's region-shard count, read from
+		// /healthz (1 = unsharded).
+		Shards int `json:"shards,omitempty"`
 	} `json:"config"`
 	Client struct {
 		Attempted        int       `json:"attempted"`
@@ -121,6 +137,8 @@ func run(args []string, out io.Writer) error {
 	alpha := fs.Float64("alpha", 1.3, "bounded-Pareto tail index of application sizes")
 	maxCTs := fs.Int("max-cts", 8, "largest application pipeline length")
 	outFile := fs.String("out", "BENCH_serve.json", "benchmark report file (empty = stdout only)")
+	appendOut := fs.Bool("append", false, "append this run to -out as a ladder document instead of overwriting")
+	label := fs.String("label", "", "annotation stored with the run (e.g. shards=4)")
 	minAdmitted := fs.Int("min-admitted", 0, "fail unless at least this many admissions succeeded")
 	checkFlight := fs.Bool("check-flight", false, "fail unless GET /debug/flight serves a parseable Chrome trace")
 	if err := fs.Parse(args); err != nil {
@@ -150,6 +168,8 @@ func run(args []string, out io.Writer) error {
 	rep.Config.Alpha = *alpha
 	rep.Config.MaxCTs = *maxCTs
 	rep.Config.Network = info.Name
+	rep.Config.Label = *label
+	rep.Config.Shards = fetchShards(base)
 
 	lat := obs.NewRegistry().Histogram("load_latency_seconds", obs.SpanBuckets)
 	arrivals, err := workload.NewPoisson(*rate, rand.New(rand.NewSource(*seed+1)))
@@ -240,7 +260,11 @@ func run(args []string, out io.Writer) error {
 	}
 	data = append(data, '\n')
 	if *outFile != "" {
-		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+		if *appendOut {
+			if err := appendLadder(*outFile, &rep); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*outFile, data, 0o644); err != nil {
 			return err
 		}
 	}
@@ -257,6 +281,50 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("admitted %d < required %d", admitted, *minAdmitted)
 	}
 	return nil
+}
+
+// ladderDoc is BENCH_serve.json in ladder form.
+type ladderDoc struct {
+	Ladder []report `json:"ladder"`
+}
+
+// appendLadder adds rep to path's ladder document. A legacy single-report
+// file is wrapped as the ladder's first entry; a missing or unreadable
+// file starts a fresh ladder.
+func appendLadder(path string, rep *report) error {
+	var doc ladderDoc
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil || len(doc.Ladder) == 0 {
+			var single report
+			if err := json.Unmarshal(prev, &single); err == nil && single.Config.Addr != "" {
+				doc.Ladder = []report{single}
+			}
+		}
+	}
+	doc.Ladder = append(doc.Ladder, *rep)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// fetchShards reads the server's region-shard count from /healthz
+// (1 when the sharding section is absent or unreadable).
+func fetchShards(base string) int {
+	body, err := get(base + "/healthz")
+	if err != nil {
+		return 1
+	}
+	var hz struct {
+		Sharding *struct {
+			Shards []json.RawMessage `json:"shards"`
+		} `json:"sharding"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil || hz.Sharding == nil || len(hz.Sharding.Shards) == 0 {
+		return 1
+	}
+	return len(hz.Sharding.Shards)
 }
 
 // printSummary writes the human-readable one-screen digest.

@@ -6,9 +6,16 @@
 //
 // Usage:
 //
-//	sparcle-server -f scenario.json [-addr :8080] [-submit] [-journal dir]
-//	               [-spans] [-spans-chrome trace.json] [-slo 50ms] [-pprof] [-v]
+//	sparcle-server -f scenario.json [-addr :8080] [-shards N] [-submit]
+//	               [-journal dir] [-spans] [-spans-chrome trace.json]
+//	               [-slo 50ms] [-pprof] [-v]
 //
+// With -shards N (default 1), the network is partitioned into N regions,
+// each running its own scheduler behind an admission router:
+// applications pinned inside one region admit under only that region's
+// lock, and applications spanning two adjacent regions place against a
+// border-link capacity lease (see docs/http-api.md, "Sharded
+// deployments"). -shards 1 is byte-identical to the unsharded scheduler.
 // With -submit, the scenario's applications are admitted at startup. With
 // -journal, every mutating operation is committed to a write-ahead
 // journal in the given directory before it is acknowledged, and a restart
@@ -77,6 +84,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	verbose := fs.Bool("v", false, "log scheduler activity to stderr")
 	parallel := fs.Int("parallel", 0, "candidate-scoring goroutines per ranking iteration (0 = GOMAXPROCS, 1 = serial)")
+	shards := fs.Int("shards", 1, "region shards: partition the network into N regions, one scheduler each, behind an admission router (1 = single scheduler)")
 	coldAlloc := fs.Bool("cold-alloc", false, "disable warm-started incremental BE solves (ablation; identical results)")
 	noDeltaCaps := fs.Bool("no-delta-caps", false, "disable delta BE capacity accounting (ablation; identical results)")
 	journalDir := fs.String("journal", "", "directory for the write-ahead operation journal (empty = not durable)")
@@ -119,7 +127,18 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *verbose {
 		opts = append(opts, core.WithLogger(obs.NewLogger(os.Stderr, slog.LevelDebug)))
 	}
-	srv := server.New(netw, opts...)
+	var srv *server.Server
+	if *shards > 1 {
+		srv, err = server.NewSharded(netw, *shards, opts...)
+		if err != nil {
+			return err
+		}
+		part := srv.Router().Partitioning()
+		fmt.Fprintf(out, "sparcle-server sharded: %d regions, %d border links\n",
+			len(part.Regions), len(part.Border))
+	} else {
+		srv = server.New(netw, opts...)
+	}
 	if *spansChrome != "" || *spansJSONL != "" || *flightDir != "" || *slo > 0 {
 		*spans = true
 	}

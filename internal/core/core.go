@@ -64,6 +64,12 @@ type QoS struct {
 	// paths jointly sustain MinRate (GR apps).
 	MinRateAvailability float64
 
+	// RateCap caps the reserved per-path rate of a GuaranteedRate
+	// application (0 = uncapped). Region-sharded deployments
+	// (internal/shard) use it to fit a cross-region reservation inside
+	// the border-link capacity lease negotiated between two shards.
+	RateCap float64
+
 	// MaxPaths bounds the task assignment paths tried for this
 	// application; 0 uses the scheduler default.
 	MaxPaths int
@@ -224,8 +230,15 @@ func WithoutPrediction() Option {
 }
 
 // Scheduler is the SPARCLE system: it owns the network's capacity
-// bookkeeping and the set of admitted applications.
+// bookkeeping and the set of admitted applications. Everything it
+// mutates lives in the embedded state (see state.go); *Scheduler
+// implements the State and Control interfaces along which schedulers
+// compose.
 type Scheduler struct {
+	// state is the mutable scheduler state: placement view, BE capacity
+	// pool, alloc solver rows, and the journal commit hook.
+	state
+
 	net *network.Network
 	alg placement.Algorithm
 
@@ -240,32 +253,6 @@ type Scheduler struct {
 
 	failProbs avail.FailProbs
 
-	// beAvailable is the capacity available to the BE class: (possibly
-	// fluctuation-scaled) base capacities minus all GR reservations. It is
-	// maintained incrementally — GR admissions and removals apply their
-	// paths' Subtract/AddBack deltas — and rebuilt from scratch only on
-	// fluctuation rescaling (or while poolClamped, see below).
-	beAvailable *network.Capacities
-	gr          []*PlacedApp
-	be          []*PlacedApp
-
-	// beSolver incrementally re-solves problem (4), keeping constraint
-	// rows and dual prices across churn events so each re-solve
-	// warm-starts near the previous optimum. beFlowIDs maps each admitted
-	// BE app to its solver flow ids (one per path, in path order), and
-	// beRates is the reusable rate map of the last solve.
-	beSolver  *alloc.Solver
-	beFlowIDs map[*PlacedApp][]alloc.FlowID
-	beRates   map[alloc.FlowID]float64
-	// footprints caches each BE app's element footprint for the eq. (6)
-	// prediction; paths never change after admission, so entries live
-	// until the app is removed.
-	footprints map[*PlacedApp]alloc.Footprint
-	// poolClamped records that a fluctuation left some element's GR
-	// reservations above its scaled capacity: the zero-clamp in Subtract
-	// then makes the pool lossy, so releasing a GR path by AddBack would
-	// over-credit. While set, GR releases fall back to a full rebuild.
-	poolClamped bool
 	// coldAlloc disables the warm-started incremental allocation
 	// (WithColdAllocation): every re-solve builds rows and prices from
 	// scratch. noDeltaCaps likewise disables the delta maintenance of
@@ -288,9 +275,6 @@ type Scheduler struct {
 	// withdrawn apps' series are deleted rather than left stale.
 	published map[string]Class
 
-	// scale holds the current capacity fluctuation (see ApplyFluctuation);
-	// nil means nominal capacities.
-	scale ElementScale
 	// noPrediction disables the eq. (6) capacity prediction (ablation).
 	noPrediction bool
 	// maxMin switches BE allocation to weighted max-min fairness.
@@ -300,9 +284,6 @@ type Scheduler struct {
 	// parallel bounds SPARCLE's candidate-scoring workers (0 = GOMAXPROCS).
 	parallel int
 
-	// commit, when set, persists a Record for every mutating operation
-	// before the operation returns (see durable.go).
-	commit CommitHook
 	// batching defers best-effort re-allocation during SubmitBatch so a
 	// K-app batch reconciles the solver once.
 	batching bool
@@ -311,15 +292,17 @@ type Scheduler struct {
 // New returns a Scheduler over net.
 func New(net *network.Network, opts ...Option) *Scheduler {
 	s := &Scheduler{
+		state: state{
+			beAvailable: net.BaseCapacities(),
+			footprints:  map[*PlacedApp]alloc.Footprint{},
+		},
 		net:             net,
 		alg:             assign.Sparcle{},
 		defaultMaxPaths: 4,
 		availSamples:    100000,
-		beAvailable:     net.BaseCapacities(),
 		diversityBias:   1,
 		log:             obs.NopLogger(),
 		published:       map[string]Class{},
-		footprints:      map[*PlacedApp]alloc.Footprint{},
 	}
 	s.setRandSeed(1, 0)
 	for _, opt := range opts {
@@ -566,6 +549,9 @@ func (s *Scheduler) submitGR(app App) (*PlacedApp, error) {
 		rate := p.Rate(residual)
 		if rate <= 0 || math.IsInf(rate, 1) {
 			break
+		}
+		if cap := app.QoS.RateCap; cap > 0 && rate > cap {
+			rate = cap
 		}
 		p.Subtract(residual, rate)
 		paths = append(paths, placement.Path{P: p, Rate: rate})

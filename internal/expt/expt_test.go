@@ -585,3 +585,41 @@ func TestChaosShapes(t *testing.T) {
 	}
 	mustRenderTable(t, res.Table(), "Chaos")
 }
+
+func TestShardScalingShapes(t *testing.T) {
+	res, err := ShardScaling(Config{Trials: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (shards 1, 2, 4)", len(res.Rows))
+	}
+	wantShards := []int{1, 2, 4}
+	for i, row := range res.Rows {
+		if row.Shards != wantShards[i] {
+			t.Fatalf("row %d: shards %d, want %d", i, row.Shards, wantShards[i])
+		}
+		if row.Submitted != 40 {
+			t.Fatalf("row %d: submitted %d, want 40", i, row.Submitted)
+		}
+		if row.Admitted+row.Rejected != row.Submitted {
+			t.Fatalf("row %d: admitted %d + rejected %d != submitted %d",
+				i, row.Admitted, row.Rejected, row.Submitted)
+		}
+		if row.Admitted == 0 {
+			t.Fatalf("row %d: nothing admitted", i)
+		}
+		if row.OpsPerSec <= 0 || row.MeanSubmit <= 0 {
+			t.Fatalf("row %d: degenerate timing %+v", i, row)
+		}
+	}
+	// One region means no edge cut and no leases.
+	if res.Rows[0].BorderLinks != 0 || res.Rows[0].Cross != 0 {
+		t.Fatalf("single-shard row has border state: %+v", res.Rows[0])
+	}
+	// More regions cut at least as many edges.
+	if res.Rows[1].BorderLinks == 0 || res.Rows[2].BorderLinks < res.Rows[1].BorderLinks {
+		t.Fatalf("edge cut not growing: %d then %d", res.Rows[1].BorderLinks, res.Rows[2].BorderLinks)
+	}
+	mustRenderTable(t, res.Table(), "Sharded admission")
+}

@@ -1,0 +1,176 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/shard"
+	"sparcle/internal/workload"
+)
+
+// ShardScalingRow is one shard-count cell of the sharded-admission
+// throughput ladder.
+type ShardScalingRow struct {
+	Shards int
+	// BorderLinks is the partition's edge-cut size.
+	BorderLinks int
+	Submitted   int
+	Admitted    int
+	// Cross counts admissions that spanned two regions (border leases).
+	Cross int
+	// Rejected counts capacity/availability rejections (not errors).
+	Rejected int
+	// MeanSubmit is the mean wall-clock admission latency with
+	// GOMAXPROCS concurrent submitters; OpsPerSec the aggregate rate.
+	MeanSubmit time.Duration
+	OpsPerSec  float64
+}
+
+// ShardScalingResult holds the ladder.
+type ShardScalingResult struct {
+	Rows []ShardScalingRow
+}
+
+// ShardScaling drives the same randomized application stream through a
+// region-sharded admission router at increasing shard counts, with
+// GOMAXPROCS concurrent submitters. One shard is the seed scheduler
+// behind a single lock — the PR 6 baseline; more shards admit
+// intra-region apps under per-region locks, so aggregate throughput
+// grows until cross-region leases (the Shards column's Cross counts)
+// start serializing on the border mutex.
+func ShardScaling(cfg Config) (*ShardScalingResult, error) {
+	const numNCPs = 16
+	trials := cfg.trials(120) // applications per cell
+	res := &ShardScalingResult{}
+
+	for _, k := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		netInst, err := workload.Generate(workload.GenConfig{
+			Shape:    workload.ShapeLinear,
+			Topology: workload.TopoMesh,
+			Regime:   workload.Balanced,
+			NumNCPs:  numNCPs,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		net := netInst.Net
+		router, err := shard.New(net, k, func(sub *network.Network, region int) core.Control {
+			return core.New(sub, core.WithRandSeed(cfg.Seed))
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Generate the whole stream up front so submission wall-clock
+		// measures admission, not generation.
+		apps := make([]core.App, 0, trials)
+		for i := 0; i < trials; i++ {
+			inst, err := workload.Generate(workload.GenConfig{
+				Shape:    workload.ShapeLinear,
+				Topology: workload.TopoMesh,
+				Regime:   workload.Balanced,
+				NumNCPs:  numNCPs,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			app := core.App{
+				Name:  fmt.Sprintf("app-%03d", i),
+				Graph: inst.Graph,
+				Pins:  workload.PinRandomEnds(inst.Graph, net, rng),
+			}
+			if i%4 == 0 {
+				app.QoS = core.QoS{Class: core.BestEffort, Priority: 1, MaxPaths: 1}
+			} else {
+				app.QoS = core.QoS{Class: core.GuaranteedRate, MinRate: 0.05, MinRateAvailability: 0.3, MaxPaths: 1}
+			}
+			apps = append(apps, app)
+		}
+
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(apps) {
+			workers = len(apps)
+		}
+		var admitted, rejected, failed atomic.Int64
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(apps) {
+						return
+					}
+					if _, err := router.Submit(apps[i], nil); err != nil {
+						if errors.Is(err, core.ErrRejected) {
+							rejected.Add(1)
+						} else {
+							failed.Add(1)
+						}
+						continue
+					}
+					admitted.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if n := failed.Load(); n > 0 {
+			return nil, fmt.Errorf("shard scaling k=%d: %d submissions failed outright", k, n)
+		}
+
+		st := router.Stats()
+		row := ShardScalingRow{
+			Shards:      k,
+			BorderLinks: len(router.Partitioning().Border),
+			Submitted:   len(apps),
+			Admitted:    int(admitted.Load()),
+			Cross:       st.Leases,
+			Rejected:    int(rejected.Load()),
+			OpsPerSec:   float64(len(apps)) / elapsed.Seconds(),
+		}
+		if len(apps) > 0 {
+			row.MeanSubmit = elapsed / time.Duration(len(apps))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the ladder.
+func (r *ShardScalingResult) Table() *Table {
+	t := &Table{
+		Title:   "Sharded admission throughput (region shards vs single lock)",
+		Headers: []string{"shards", "border", "submitted", "admitted", "cross", "rejected", "mean submit", "ops/s"},
+		Notes: []string{
+			"shards=1 is the seed scheduler behind one lock (PR 6 baseline).",
+			"Intra-region submissions to different shards admit concurrently;",
+			"cross-region admissions hold two shard locks plus a border lease.",
+			"ops/s is wall-clock with GOMAXPROCS submitters and so varies run to run.",
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Shards),
+			fmt.Sprintf("%d", row.BorderLinks),
+			fmt.Sprintf("%d", row.Submitted),
+			fmt.Sprintf("%d", row.Admitted),
+			fmt.Sprintf("%d", row.Cross),
+			fmt.Sprintf("%d", row.Rejected),
+			row.MeanSubmit.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", row.OpsPerSec),
+		)
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RegionView is a sub-network extracted from a parent Network together
+// with the id translation between the two. A region-sharded scheduler
+// (internal/shard) runs one scheduler per RegionView; placements made
+// against the view use the view's dense local ids, and the maps here
+// translate them back to the parent's ids (for rendering, journaling,
+// and cross-region coordination).
+//
+// When the view covers the whole parent — the single-shard case — Net
+// is the parent pointer itself and every translation is the identity,
+// so nothing downstream can observe a difference from running against
+// the parent directly.
+type RegionView struct {
+	// Net is the extracted sub-network (or the parent itself for a
+	// whole-network view).
+	Net *Network
+
+	// NCPToParent[local] is the parent id of local NCP `local`;
+	// NCPFromParent is the inverse (absent parent NCPs map to -1).
+	// Nil for an identity view.
+	NCPToParent   []NCPID
+	NCPFromParent []NCPID
+
+	// LinkToParent[local] is the parent id of local link `local`;
+	// LinkFromParent is the inverse (absent parent links — including
+	// border links, which belong to no region — map to -1). Nil for an
+	// identity view.
+	LinkToParent   []LinkID
+	LinkFromParent []LinkID
+}
+
+// Identity reports whether the view is the whole parent network (all
+// translations are the identity).
+func (v *RegionView) Identity() bool { return v.NCPToParent == nil }
+
+// ParentNCP translates a view-local NCP id to the parent's id.
+func (v *RegionView) ParentNCP(id NCPID) NCPID {
+	if v.NCPToParent == nil {
+		return id
+	}
+	return v.NCPToParent[id]
+}
+
+// LocalNCP translates a parent NCP id into the view; ok is false when
+// the NCP is outside the region.
+func (v *RegionView) LocalNCP(id NCPID) (NCPID, bool) {
+	if v.NCPFromParent == nil {
+		return id, true
+	}
+	l := v.NCPFromParent[id]
+	return l, l >= 0
+}
+
+// ParentLink translates a view-local link id to the parent's id.
+func (v *RegionView) ParentLink(id LinkID) LinkID {
+	if v.LinkToParent == nil {
+		return id
+	}
+	return v.LinkToParent[id]
+}
+
+// LocalLink translates a parent link id into the view; ok is false when
+// the link is outside the region (either endpoint elsewhere, e.g. a
+// border link).
+func (v *RegionView) LocalLink(id LinkID) (LinkID, bool) {
+	if v.LinkFromParent == nil {
+		return id, true
+	}
+	l := v.LinkFromParent[id]
+	return l, l >= 0
+}
+
+// WholeRegion returns the identity RegionView over n.
+func WholeRegion(n *Network) *RegionView {
+	return &RegionView{Net: n}
+}
+
+// ExtractRegion builds the sub-network induced by the given member NCPs
+// of parent: the members (in ascending parent-id order) plus every
+// parent link whose BOTH endpoints are members (in ascending parent-id
+// order), preserving names, capacities, failure probabilities, and
+// directedness. Links with exactly one endpoint in members — border
+// links — are deliberately excluded: in a sharded deployment their
+// capacity is owned by the border-lease table, not by any one region.
+//
+// Members must be valid, distinct parent NCP ids and non-empty.
+func ExtractRegion(parent *Network, members []NCPID) (*RegionView, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("network: region of %q has no members", parent.Name())
+	}
+	sorted := append([]NCPID(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	fromParent := make([]NCPID, parent.NumNCPs())
+	for i := range fromParent {
+		fromParent[i] = -1
+	}
+	b := NewBuilder(parent.Name())
+	toParent := make([]NCPID, 0, len(sorted))
+	for _, id := range sorted {
+		if id < 0 || int(id) >= parent.NumNCPs() {
+			return nil, fmt.Errorf("network: region member %d outside %q", id, parent.Name())
+		}
+		if fromParent[id] >= 0 {
+			return nil, fmt.Errorf("network: region member %d listed twice", id)
+		}
+		ncp := parent.NCP(id)
+		local := b.AddNCP(ncp.Name, ncp.Capacity, ncp.FailProb)
+		fromParent[id] = local
+		toParent = append(toParent, id)
+	}
+	linkFrom := make([]LinkID, parent.NumLinks())
+	for i := range linkFrom {
+		linkFrom[i] = -1
+	}
+	var linkTo []LinkID
+	for id := 0; id < parent.NumLinks(); id++ {
+		l := parent.Link(LinkID(id))
+		a, b1 := fromParent[l.A], fromParent[l.B]
+		if a < 0 || b1 < 0 {
+			continue
+		}
+		var local LinkID
+		if l.Directed {
+			local = b.AddDirectedLink(l.Name, a, b1, l.Bandwidth, l.FailProb)
+		} else {
+			local = b.AddLink(l.Name, a, b1, l.Bandwidth, l.FailProb)
+		}
+		linkFrom[id] = local
+		linkTo = append(linkTo, LinkID(id))
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("network: region of %q: %w", parent.Name(), err)
+	}
+	return &RegionView{
+		Net:            sub,
+		NCPToParent:    toParent,
+		NCPFromParent:  fromParent,
+		LinkToParent:   linkTo,
+		LinkFromParent: linkFrom,
+	}, nil
+}

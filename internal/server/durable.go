@@ -27,6 +27,9 @@ const metricRecovery = "sparcle_recovery_seconds"
 // While recovery runs, the server answers mutating routes with 503 (see
 // middleware); GETs stay available.
 func (s *Server) EnableJournal(dir string, opt journal.Options, snapshotEvery int) error {
+	if s.router != nil {
+		return s.enableShardJournal(dir, opt, snapshotEvery)
+	}
 	s.recovering.Store(true)
 	defer s.recovering.Store(false)
 	start := time.Now()

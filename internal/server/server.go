@@ -38,6 +38,7 @@ import (
 	"sparcle/internal/obs"
 	"sparcle/internal/placement"
 	"sparcle/internal/scenario"
+	"sparcle/internal/shard"
 	"sparcle/internal/taskgraph"
 )
 
@@ -63,6 +64,16 @@ type Server struct {
 	recovering atomic.Bool
 	// spans is non-nil once EnableSpans armed request tracing (spans.go).
 	spans *obs.SpanTracer
+
+	// router is non-nil in shard mode (NewSharded): requests then route
+	// through the region-sharded admission router instead of sched, and
+	// mu no longer serializes scheduler work — each shard carries its own
+	// lock (shard.go).
+	router *shard.Router
+	// shards is the region count the router was built with.
+	shards int
+	// snapshotting dedups the asynchronous shard-mode journal snapshots.
+	snapshotting atomic.Bool
 }
 
 // New returns a Server scheduling onto net. The server always carries a
@@ -148,6 +159,9 @@ type healthzResponse struct {
 	Apps          map[string]int `json:"apps"`
 	Requests      uint64         `json:"requests"`
 	Journal       journalHealth  `json:"journal"`
+	// Sharding is present in shard mode: per-shard admissions, lease
+	// count and border-link occupancy.
+	Sharding *shard.Stats `json:"sharding,omitempty"`
 }
 
 // journalHealth is the durability section of /healthz: whether a
@@ -169,13 +183,31 @@ type journalHealth struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var apps map[string]int
+	var sharding *shard.Stats
 	s.mu.Lock()
-	apps := map[string]int{
-		core.GuaranteedRate.String(): len(s.sched.GRApps()),
-		core.BestEffort.String():     len(s.sched.BEApps()),
-	}
 	j := s.journal
 	s.mu.Unlock()
+	if s.router != nil {
+		st := s.router.Stats()
+		sharding = &st
+		gr, be := 0, 0
+		for _, sh := range st.Shards {
+			gr += sh.GRApps
+			be += sh.BEApps
+		}
+		apps = map[string]int{
+			core.GuaranteedRate.String(): gr,
+			core.BestEffort.String():     be,
+		}
+	} else {
+		s.mu.Lock()
+		apps = map[string]int{
+			core.GuaranteedRate.String(): len(s.sched.GRApps()),
+			core.BestEffort.String():     len(s.sched.BEApps()),
+		}
+		s.mu.Unlock()
+	}
 	jh := journalHealth{Recovering: s.recovering.Load()}
 	if j != nil {
 		jh.Enabled = true
@@ -190,11 +222,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Apps:          apps,
 		Requests:      s.requests.Load(),
 		Journal:       jh,
+		Sharding:      sharding,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The registry is concurrency safe on its own: no mu here.
+	if s.router != nil {
+		s.updateShardMetrics()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
 }
@@ -270,6 +306,10 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		s.shardListApps(w, r)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	apps := []appView{}
@@ -280,6 +320,13 @@ func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) appView(pa *core.PlacedApp) appView {
+	return appViewOn(s.net, pa)
+}
+
+// appViewOn renders a placement against the network it was made on —
+// the parent network for the unsharded scheduler, a region sub-network
+// for a shard's placement (path hosts are region-local NCP ids there).
+func appViewOn(netw *network.Network, pa *core.PlacedApp) appView {
 	view := appView{
 		Name:         pa.App.Name,
 		Class:        pa.App.QoS.Class.String(),
@@ -290,7 +337,7 @@ func (s *Server) appView(pa *core.PlacedApp) appView {
 		hosts := map[string]string{}
 		for ct := 0; ct < pa.App.Graph.NumCTs(); ct++ {
 			id := taskgraph.CTID(ct)
-			hosts[pa.App.Graph.CT(id).Name] = s.net.NCP(path.P.Host(id)).Name
+			hosts[pa.App.Graph.CT(id).Name] = netw.NCP(path.P.Host(id)).Name
 		}
 		view.Paths = append(view.Paths, pathView{Rate: path.Rate, Hosts: hosts})
 	}
@@ -298,6 +345,10 @@ func (s *Server) appView(pa *core.PlacedApp) appView {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		s.shardSubmit(w, r)
+		return
+	}
 	root := s.spans.Start("http.submit")
 	defer root.End()
 	dsp := root.Child("http.decode")
@@ -366,6 +417,10 @@ type batchResponse struct {
 // input. Only a durability failure (journal append lost) or a whole-batch
 // allocation failure changes the status.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		s.shardSubmitBatch(w, r)
+		return
+	}
 	root := s.spans.Start("http.batch")
 	defer root.End()
 	dsp := root.Child("http.decode")
@@ -428,6 +483,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		s.shardRemove(w, r)
+		return
+	}
 	name := r.PathValue("name")
 	root := s.spans.Start("http.remove")
 	defer root.End()
@@ -445,6 +504,10 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		s.shardRepair(w, r)
+		return
+	}
 	name := r.PathValue("name")
 	root := s.spans.Start("http.repair")
 	defer root.End()
@@ -479,6 +542,10 @@ type fluctuationResponse struct {
 }
 
 func (s *Server) handleFluctuation(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		s.shardFluctuation(w, r)
+		return
+	}
 	root := s.spans.Start("http.fluctuation")
 	defer root.End()
 	dsp := root.Child("http.decode")
@@ -551,9 +618,15 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 // logging each outcome to out. Rejections are reported but do not fail the
 // batch; a batch-level error (allocation or durability failure) aborts.
 func (s *Server) SubmitAll(apps []core.App, out io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	results, err := s.sched.SubmitBatch(apps)
+	var results []core.BatchResult
+	var err error
+	if s.router != nil {
+		results, err = s.router.SubmitBatch(apps, nil)
+	} else {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		results, err = s.sched.SubmitBatch(apps)
+	}
 	for _, res := range results {
 		switch {
 		case errors.Is(res.Err, core.ErrRejected):

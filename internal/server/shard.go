@@ -1,0 +1,332 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/obs"
+	"sparcle/internal/scenario"
+	"sparcle/internal/shard"
+)
+
+// Shard mode. NewSharded fronts the HTTP API with a region-sharded
+// admission router (internal/shard) instead of one scheduler: the
+// network is edge-cut into regions, each region runs its own scheduler
+// and warm allocation solver behind its own lock, and cross-region
+// applications are admitted against border-link capacity leases. The
+// server's global mu no longer serializes admissions — intra-region
+// requests to different shards run concurrently, so the lock.wait spans
+// an open-loop load harness induces shrink with the shard count.
+
+// NewSharded returns a Server routing through a region-sharded
+// admission router over shards regions. shards must be at least 2: a
+// single-shard deployment is exactly New (the router's one-shard path
+// is the seed scheduler verbatim, so there is nothing to gain).
+func NewSharded(netw *network.Network, shards int, opts ...core.Option) (*Server, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("server: NewSharded needs at least 2 shards, got %d (use New)", shards)
+	}
+	reg := obs.NewRegistry()
+	opts = append([]core.Option{core.WithMetrics(reg)}, opts...)
+	router, err := shard.New(netw, shards, func(sub *network.Network, region int) core.Control {
+		return core.New(sub, opts...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		net:     netw,
+		metrics: reg,
+		opts:    opts,
+		router:  router,
+		shards:  shards,
+	}
+	s.start = time.Now()
+	s.metricsHelp()
+	return s, nil
+}
+
+// Router returns the admission router, nil unless the server was built
+// with NewSharded. Tests use it to reach individual shards.
+func (s *Server) Router() *shard.Router { return s.router }
+
+func (s *Server) metricsHelp() {
+	s.metrics.SetHelp("sparcle_shard_apps", "Admitted applications per shard and class.")
+	s.metrics.SetHelp("sparcle_shard_solver_flows", "Warm BE solver rows (flows) per shard.")
+	s.metrics.SetHelp("sparcle_border_leases", "Granted border-link capacity leases.")
+	s.metrics.SetHelp("sparcle_border_leased_bandwidth", "Leased bandwidth per border link.")
+	s.metrics.SetHelp("sparcle_border_utilization", "Leased fraction of each border link's scaled capacity.")
+}
+
+// updateShardMetrics refreshes the sparcle_shard_* and sparcle_border_*
+// gauges from the router; /metrics calls it on every scrape so the
+// series are exact at observation time rather than maintained inline on
+// the admission path.
+func (s *Server) updateShardMetrics() {
+	st := s.router.Stats()
+	for _, sh := range st.Shards {
+		l := obs.L("shard", strconv.Itoa(sh.Region))
+		s.metrics.Gauge("sparcle_shard_apps", l, obs.L("class", core.GuaranteedRate.String())).Set(float64(sh.GRApps))
+		s.metrics.Gauge("sparcle_shard_apps", l, obs.L("class", core.BestEffort.String())).Set(float64(sh.BEApps))
+		s.metrics.Gauge("sparcle_shard_solver_flows", l).Set(float64(sh.SolverFlows))
+	}
+	s.metrics.Gauge("sparcle_border_leases").Set(float64(st.Leases))
+	for _, b := range st.Border {
+		l := obs.L("link", b.Link)
+		s.metrics.Gauge("sparcle_border_leased_bandwidth", l).Set(b.Leased)
+		s.metrics.Gauge("sparcle_border_utilization", l).Set(b.Utilization)
+	}
+}
+
+// shardAppView is appView plus shard-mode placement detail.
+type shardAppView struct {
+	appView
+	Shard int        `json:"shard"`
+	Cross *crossView `json:"cross,omitempty"`
+}
+
+// crossView describes a cross-region placement: the two regions, the
+// leased border link, and each half's region-local placement.
+type crossView struct {
+	Regions    [2]int     `json:"regions"`
+	BorderLink string     `json:"borderLink"`
+	Bits       float64    `json:"bits"`
+	Rate       float64    `json:"rate"`
+	Halves     [2]appView `json:"halves"`
+}
+
+// shardView renders an admission Result.
+func (s *Server) shardView(res *shard.Result) shardAppView {
+	if res.Cross == nil {
+		return shardAppView{
+			appView: appViewOn(s.router.Region(res.Shard).View.Net, res.App),
+			Shard:   res.Shard,
+		}
+	}
+	c := res.Cross
+	return shardAppView{
+		appView: appView{
+			Name:         res.App.App.Name,
+			Class:        res.App.App.QoS.Class.String(),
+			TotalRate:    c.Rate,
+			Availability: c.Availability,
+		},
+		Shard: res.Shard,
+		Cross: &crossView{
+			Regions:    [2]int{c.A, c.B},
+			BorderLink: c.BorderLink,
+			Bits:       c.Bits,
+			Rate:       c.Rate,
+			Halves: [2]appView{
+				appViewOn(s.router.Region(c.A).View.Net, c.HalfA),
+				appViewOn(s.router.Region(c.B).View.Net, c.HalfB),
+			},
+		},
+	}
+}
+
+func shardErrStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrRejected):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) shardListApps(w http.ResponseWriter, r *http.Request) {
+	apps := []shardAppView{}
+	for i, shardApps := range s.router.AppsByShard(nil) {
+		netw := s.router.Region(i).View.Net
+		for _, pa := range shardApps {
+			apps = append(apps, shardAppView{appView: appViewOn(netw, pa), Shard: i})
+		}
+	}
+	writeJSON(w, http.StatusOK, apps)
+}
+
+func (s *Server) shardSubmit(w http.ResponseWriter, r *http.Request) {
+	root := s.spans.Start("http.submit")
+	defer root.End()
+	dsp := root.Child("http.decode")
+	var spec scenario.AppSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&spec)
+	dsp.End()
+	if err != nil {
+		root.SetAttr("outcome", "bad-request")
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode app spec: %v", err)})
+		return
+	}
+	root.SetAttr("app", spec.Name)
+	bsp := root.Child("http.build")
+	app, err := scenario.BuildApp(spec, s.net)
+	bsp.End()
+	if err != nil {
+		root.SetAttr("outcome", "bad-request")
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	// No global lock: the router claims the name and locks only the
+	// shards the app touches. Duplicate names come back as ErrRejected.
+	res, err := s.router.Submit(app, root)
+	if err != nil {
+		root.SetAttr("outcome", "rejected")
+		writeJSON(w, shardErrStatus(err), errorResponse{Error: err.Error()})
+		return
+	}
+	root.SetAttr("outcome", "admitted")
+	root.SetInt("shard", int64(res.Shard))
+	writeJSON(w, http.StatusCreated, s.shardView(res))
+}
+
+// shardSubmitBatch mirrors handleSubmitBatch with one semantic
+// difference, documented in docs/http-api.md: atomicity is per shard.
+// Each shard's intra-region members form that shard's atomic sub-batch;
+// cross-region members are admitted individually.
+func (s *Server) shardSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	root := s.spans.Start("http.batch")
+	defer root.End()
+	dsp := root.Child("http.decode")
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	dsp.End()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
+		return
+	}
+	root.SetInt("apps", int64(len(req.Apps)))
+
+	verdicts := make([]batchVerdict, len(req.Apps))
+	var apps []core.App
+	var appIdx []int
+	for i, spec := range req.Apps {
+		verdicts[i].Name = spec.Name
+		app, err := scenario.BuildApp(spec, s.net)
+		if err != nil {
+			verdicts[i].Error = err.Error()
+			continue
+		}
+		apps = append(apps, app)
+		appIdx = append(appIdx, i)
+	}
+	results, err := s.router.SubmitBatch(apps, root)
+	for j, res := range results {
+		v := &verdicts[appIdx[j]]
+		if res.Err != nil {
+			v.Error = res.Err.Error()
+			continue
+		}
+		v.Admitted = true
+		view := s.batchAppView(res.App)
+		v.App = &view
+	}
+	resp := batchResponse{Verdicts: verdicts}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		if errors.Is(err, core.ErrDurability) {
+			status = http.StatusInternalServerError
+		} else {
+			status = http.StatusConflict
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// batchAppView renders a batch result's placement. The batch path
+// reports intra apps with their shard's placement and cross apps as the
+// logical view (paths live region-locally in the halves); either way
+// the placement's own network is found through the router's registry.
+func (s *Server) batchAppView(pa *core.PlacedApp) appView {
+	if len(pa.Paths) == 0 {
+		// Logical cross-region view: no region-local paths to render.
+		return appView{
+			Name:         pa.App.Name,
+			Class:        pa.App.QoS.Class.String(),
+			TotalRate:    pa.TotalRate(),
+			Availability: pa.Availability,
+		}
+	}
+	netw := s.net
+	if i, ok := s.router.ShardOf(pa.App.Name); ok {
+		netw = s.router.Region(i).View.Net
+	}
+	return appViewOn(netw, pa)
+}
+
+func (s *Server) shardRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	root := s.spans.Start("http.remove")
+	defer root.End()
+	root.SetAttr("app", name)
+	if err := s.router.Remove(name, root); err != nil {
+		writeJSON(w, shardErrStatus(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+func (s *Server) shardRepair(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	root := s.spans.Start("http.repair")
+	defer root.End()
+	root.SetAttr("app", name)
+	res, err := s.router.Repair(name, root)
+	if err != nil {
+		writeJSON(w, shardErrStatus(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.shardView(res))
+}
+
+func (s *Server) shardFluctuation(w http.ResponseWriter, r *http.Request) {
+	root := s.spans.Start("http.fluctuation")
+	defer root.End()
+	dsp := root.Child("http.decode")
+	var req fluctuationRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	dsp.End()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode fluctuation: %v", err)})
+		return
+	}
+	// Elements are named against the parent network; the router splits
+	// the scale into per-region and border-link shares.
+	scale := core.ElementScale{}
+	for key, factor := range req.Scale {
+		elem, err := s.parseElement(key)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		scale[elem] = factor
+	}
+	rep, err := s.router.ApplyFluctuation(scale, root)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrDurability) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := fluctuationResponse{ViolatedGR: rep.ViolatedGR, BERates: rep.BERates}
+	if resp.ViolatedGR == nil {
+		resp.ViolatedGR = []string{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

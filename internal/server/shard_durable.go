@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sparcle/internal/core"
+	"sparcle/internal/journal"
+	"sparcle/internal/network"
+	"sparcle/internal/shard"
+)
+
+// Shard-mode durability. The journal stores opaque JSON, so the sharded
+// control plane reuses it unchanged: records are shard.Envelope (a
+// scheduler record tagged with its shard, or a router-level lease /
+// border-scale mutation) and snapshots are shard.RouterSnapshot (one
+// scheduler snapshot per region plus the border state). Recovery
+// demultiplexes the envelope stream through shard.Rebuild, which also
+// reconciles cross-region operations a crash tore mid-way.
+
+// enableShardJournal is EnableJournal for a NewSharded server.
+func (s *Server) enableShardJournal(dir string, opt journal.Options, snapshotEvery int) error {
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
+	start := time.Now()
+
+	if opt.Metrics == nil {
+		opt.Metrics = s.metrics
+	}
+	j, err := journal.Open(dir, opt)
+	if err != nil {
+		return fmt.Errorf("open journal: %w", err)
+	}
+	snapBytes, recs, err := j.Recover()
+	if err != nil {
+		j.Close()
+		return fmt.Errorf("recover journal: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snapBytes == nil && len(recs) == 0 {
+		// Fresh journal: pin the initial state of every shard (seeds
+		// included) before the first operation can be acknowledged.
+		if err := s.router.SnapshotWith(func(snap *shard.RouterSnapshot) error {
+			return j.WriteSnapshot(snap)
+		}); err != nil {
+			j.Close()
+			return fmt.Errorf("write genesis snapshot: %w", err)
+		}
+	} else {
+		var snap *shard.RouterSnapshot
+		if snapBytes != nil {
+			snap = &shard.RouterSnapshot{}
+			if err := json.Unmarshal(snapBytes, snap); err != nil {
+				j.Close()
+				return fmt.Errorf("decode snapshot: %w", err)
+			}
+		}
+		envs := make([]*shard.Envelope, len(recs))
+		for i := range recs {
+			envs[i] = &shard.Envelope{}
+			if err := json.Unmarshal(recs[i].Data, envs[i]); err != nil {
+				j.Close()
+				return fmt.Errorf("decode record %d: %w", recs[i].Seq, err)
+			}
+		}
+		rebuilt, err := shard.Rebuild(s.net, s.shards, snap, envs,
+			func(sub *network.Network, region int, ss *core.Snapshot, rs []*core.Record) (core.Control, error) {
+				return core.Rebuild(sub, ss, rs, s.opts...)
+			})
+		if err != nil {
+			j.Close()
+			return fmt.Errorf("rebuild sharded scheduler: %w", err)
+		}
+		if s.spans != nil {
+			rebuilt.SetSpans(s.spans)
+		}
+		s.router = rebuilt
+	}
+
+	s.journal = j
+	// The hook runs under the committing shard's lock (or the border
+	// mutex for lease envelopes); the journal serializes concurrent
+	// appends internally. Snapshots cannot be cut here — the router's
+	// consistent export takes every shard lock, including the one the
+	// committing operation holds — so the hook only flags the cadence
+	// and a background goroutine writes the snapshot via SnapshotWith,
+	// which holds all locks across export AND write so no record can
+	// land in between and be skipped by a later replay.
+	s.router.SetEnvelopeHook(func(env *shard.Envelope) error {
+		if _, err := j.Append("op", env); err != nil {
+			return err
+		}
+		if snapshotEvery > 0 && j.SinceSnapshot() >= snapshotEvery &&
+			s.snapshotting.CompareAndSwap(false, true) {
+			go s.writeShardSnapshot(j)
+		}
+		return nil
+	})
+
+	s.metrics.SetHelp(metricRecovery, "Duration of the last journal recovery in seconds.")
+	s.metrics.Gauge(metricRecovery).Set(time.Since(start).Seconds())
+	return nil
+}
+
+// writeShardSnapshot cuts one consistent router snapshot into the
+// journal. Failures are counted, not fatal: the journal still holds
+// every record, so recovery just replays a longer tail.
+func (s *Server) writeShardSnapshot(j *journal.Journal) {
+	defer s.snapshotting.Store(false)
+	err := s.router.SnapshotWith(func(snap *shard.RouterSnapshot) error {
+		return j.WriteSnapshot(snap)
+	})
+	if err != nil {
+		s.metrics.Counter("sparcle_snapshot_errors_total").Inc()
+	}
+}

@@ -1,0 +1,367 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+)
+
+// Durability of the sharded control plane. Every shard scheduler's
+// journal record is wrapped in an Envelope tagging its shard (and, for
+// cross-region halves, the logical application), and the router's own
+// border mutations — lease acquire/release/renew and border-link
+// fluctuation scales — are journaled as lease/border envelopes in the
+// same stream. Rebuild demultiplexes the stream: each shard's records
+// replay through core.Rebuild against its region sub-network, the border
+// envelopes replay into the lease table and the cross-app registry, and
+// a final reconciliation pass withdraws cross-region halves that a crash
+// left without their sibling or lease (the sharded analogue of a torn
+// multi-record operation).
+
+// EnvelopeHook persists one Envelope; it must be safe for concurrent
+// calls (shards commit under their own locks).
+type EnvelopeHook func(*Envelope) error
+
+// Envelope is one journal entry of a sharded deployment.
+type Envelope struct {
+	// Shard is the region of a scheduler record; -1 for router-level
+	// (lease / border-scale) envelopes.
+	Shard int `json:"shard"`
+	// Cross is the logical application name when Rec belongs to a
+	// cross-region half.
+	Cross string `json:"cross,omitempty"`
+	// Rec is the wrapped scheduler record (shard envelopes).
+	Rec *core.Record `json:"rec,omitempty"`
+	// Lease is a border-lease mutation (router envelopes).
+	Lease *LeaseRecord `json:"lease,omitempty"`
+	// BorderScale, when non-nil, replaces the border-link fluctuation
+	// scales (absent links return to nominal).
+	BorderScale map[int]float64 `json:"borderScale,omitempty"`
+	// IsBorderScale distinguishes an empty scale map (restore all
+	// borders to nominal) from a non-scale envelope.
+	IsBorderScale bool `json:"isBorderScale,omitempty"`
+}
+
+// Lease operation names.
+const (
+	leaseAcquire = "acquire"
+	leaseRelease = "release"
+	leaseRenew   = "renew"
+)
+
+// LeaseRecord journals one border-lease mutation; it carries the full
+// cross-app metadata so recovery can rebuild the router's registry.
+type LeaseRecord struct {
+	Op           string     `json:"op"` // acquire, release, renew
+	App          string     `json:"app"`
+	Class        core.Class `json:"class"`
+	A            int        `json:"a"`
+	B            int        `json:"b"`
+	Border       int        `json:"border"`
+	Bits         float64    `json:"bits"`
+	Rate         float64    `json:"rate"`
+	Avail        float64    `json:"avail"`
+	Target       float64    `json:"target"`
+	LinkFailProb float64    `json:"linkFailProb"`
+}
+
+// RouterSnapshot captures the whole sharded control plane: one scheduler
+// snapshot per region plus the border state.
+type RouterSnapshot struct {
+	Shards []*core.Snapshot `json:"shards"`
+	// Leases are the granted leases with their cross-app metadata
+	// (Op is empty), sorted by application name.
+	Leases []LeaseRecord `json:"leases,omitempty"`
+	// BorderScale is the current border-link fluctuation scale.
+	BorderScale map[int]float64 `json:"borderScale,omitempty"`
+}
+
+// SetEnvelopeHook installs (or clears, with nil) the durability hook:
+// each shard scheduler's commit hook is wrapped to emit tagged
+// envelopes, and the router's own border mutations are journaled
+// through the same hook. Install before serving traffic.
+func (r *Router) SetEnvelopeHook(h EnvelopeHook) {
+	r.commit = h
+	for i, s := range r.slots {
+		if h == nil {
+			s.ctl.SetCommitHook(nil)
+			continue
+		}
+		i, s := i, s
+		s.ctl.SetCommitHook(func(rec *core.Record) error {
+			return h(&Envelope{Shard: i, Cross: s.cross, Rec: rec})
+		})
+	}
+}
+
+func leaseRecordOf(op string, c *crossApp) *LeaseRecord {
+	return &LeaseRecord{
+		Op:           op,
+		App:          c.logical,
+		Class:        c.class,
+		A:            c.a,
+		B:            c.b,
+		Border:       c.border,
+		Bits:         c.bits,
+		Rate:         c.rate,
+		Avail:        c.avail,
+		Target:       c.target,
+		LinkFailProb: c.linkFailProb,
+	}
+}
+
+// commitLease journals one lease mutation; a nil hook is free.
+func (r *Router) commitLease(op string, c *crossApp) error {
+	if r.commit == nil {
+		return nil
+	}
+	if err := r.commit(&Envelope{Shard: -1, Lease: leaseRecordOf(op, c)}); err != nil {
+		return fmt.Errorf("%w: %v", core.ErrDurability, err)
+	}
+	return nil
+}
+
+// commitBorderScale journals the border-link fluctuation scales.
+func (r *Router) commitBorderScale(border map[int]float64) error {
+	if r.commit == nil {
+		return nil
+	}
+	env := &Envelope{Shard: -1, BorderScale: border, IsBorderScale: true}
+	if err := r.commit(env); err != nil {
+		return fmt.Errorf("%w: %v", core.ErrDurability, err)
+	}
+	return nil
+}
+
+// ExportSnapshot captures a consistent snapshot of every shard and the
+// border state, holding all locks for the duration.
+func (r *Router) ExportSnapshot() (*RouterSnapshot, error) {
+	var snap *RouterSnapshot
+	err := r.SnapshotWith(func(s *RouterSnapshot) error {
+		snap = s
+		return nil
+	})
+	return snap, err
+}
+
+// SnapshotWith exports a consistent snapshot and passes it to write
+// while still holding every lock, so nothing can commit between the
+// export and the write landing. Periodic journal snapshotting needs
+// exactly this: a snapshot exported and then written later could miss
+// operations journaled in between, and replay from it would lose them.
+// write must not call back into the Router.
+func (r *Router) SnapshotWith(write func(*RouterSnapshot) error) error {
+	for _, s := range r.slots {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	r.borderMu.Lock()
+	defer r.borderMu.Unlock()
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+
+	snap := &RouterSnapshot{}
+	for _, s := range r.slots {
+		ss, err := s.ctl.ExportSnapshot()
+		if err != nil {
+			return err
+		}
+		snap.Shards = append(snap.Shards, ss)
+	}
+	var names []string
+	for name, e := range r.apps {
+		if e.cross != nil && !e.claimed {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Leases = append(snap.Leases, *leaseRecordOf("", r.apps[name].cross))
+	}
+	if len(r.borderScale) > 0 {
+		snap.BorderScale = make(map[int]float64, len(r.borderScale))
+		for i, f := range r.borderScale {
+			snap.BorderScale[i] = f
+		}
+	}
+	return write(snap)
+}
+
+// ShardRebuilder reconstructs one region's scheduler from its snapshot
+// and replayed records (typically a closure over core.Rebuild with the
+// deployment's options).
+type ShardRebuilder func(sub *network.Network, region int, snap *core.Snapshot, recs []*core.Record) (core.Control, error)
+
+// Rebuild reconstructs a Router from a snapshot and the envelopes
+// journaled after it. The partition is recomputed (Partition is
+// deterministic), each shard replays through rebuildShard, the border
+// envelopes replay into the lease table and registry, and halves torn
+// by a crash mid-cross-operation are withdrawn.
+func Rebuild(net *network.Network, k int, snap *RouterSnapshot, envs []*Envelope, rebuildShard ShardRebuilder) (*Router, error) {
+	part, err := Partition(net, k)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil && len(snap.Shards) != k {
+		return nil, fmt.Errorf("shard: snapshot has %d shards, deployment has %d", len(snap.Shards), k)
+	}
+	r := &Router{
+		part:        part,
+		leases:      NewLeaseTable(part),
+		borderScale: map[int]float64{},
+		apps:        map[string]*appEntry{},
+	}
+
+	// Demultiplex the envelope stream.
+	shardRecs := make([][]*core.Record, k)
+	var borderEnvs []*Envelope
+	for _, env := range envs {
+		switch {
+		case env.Rec != nil:
+			if env.Shard < 0 || env.Shard >= k {
+				return nil, fmt.Errorf("shard: envelope for unknown shard %d", env.Shard)
+			}
+			shardRecs[env.Shard] = append(shardRecs[env.Shard], env.Rec)
+		case env.Lease != nil || env.IsBorderScale:
+			borderEnvs = append(borderEnvs, env)
+		}
+	}
+
+	for _, reg := range part.Regions {
+		var ss *core.Snapshot
+		if snap != nil {
+			ss = snap.Shards[reg.Index]
+		}
+		ctl, err := rebuildShard(reg.View.Net, reg.Index, ss, shardRecs[reg.Index])
+		if err != nil {
+			return nil, fmt.Errorf("shard: rebuild region %d: %w", reg.Index, err)
+		}
+		r.slots = append(r.slots, &slot{region: reg, ctl: ctl})
+	}
+
+	// Border state: snapshot first, then the journaled mutations in
+	// order. Replay applies recorded facts — it does not re-validate
+	// capacity (a lease granted before a degrading fluctuation stays
+	// granted, exactly like the live table).
+	applyLease := func(lr *LeaseRecord) {
+		switch lr.Op {
+		case leaseRelease:
+			if r.leases.Lookup(lr.App) != nil {
+				_, _ = r.leases.Release(lr.App)
+			}
+			delete(r.apps, lr.App)
+		default: // acquire, renew, or snapshot state
+			if r.leases.Lookup(lr.App) != nil {
+				_, _ = r.leases.Release(lr.App)
+			}
+			r.leases.restore(&Lease{App: lr.App, Border: lr.Border, Bits: lr.Bits, Rate: lr.Rate})
+			r.apps[lr.App] = &appEntry{shard: lr.A, cross: &crossApp{
+				logical:      lr.App,
+				class:        lr.Class,
+				a:            lr.A,
+				b:            lr.B,
+				border:       lr.Border,
+				bits:         lr.Bits,
+				rate:         lr.Rate,
+				avail:        lr.Avail,
+				target:       lr.Target,
+				linkFailProb: lr.LinkFailProb,
+			}}
+		}
+	}
+	applyScale := func(border map[int]float64) {
+		for i := range part.Border {
+			r.leases.SetScale(i, 1)
+		}
+		r.borderScale = map[int]float64{}
+		for i, f := range border {
+			if i >= 0 && i < len(part.Border) {
+				r.leases.SetScale(i, f)
+				r.borderScale[i] = f
+			}
+		}
+	}
+	if snap != nil {
+		for i := range snap.Leases {
+			applyLease(&snap.Leases[i])
+		}
+		if snap.BorderScale != nil {
+			applyScale(snap.BorderScale)
+		}
+	}
+	for _, env := range borderEnvs {
+		if env.Lease != nil {
+			applyLease(env.Lease)
+		} else {
+			applyScale(env.BorderScale)
+		}
+	}
+
+	r.reconcile()
+	return r, nil
+}
+
+// reconcile withdraws the debris a crash can leave between the multiple
+// journal records of one cross-region operation: a half admitted without
+// its lease (crash before the sibling/lease committed), a lease whose
+// half is missing (crash mid-removal), and registers every intact
+// intra-region app in the routing table.
+func (r *Router) reconcile() {
+	k := len(r.slots)
+	present := make([]map[string]bool, k)
+	for i, s := range r.slots {
+		present[i] = map[string]bool{}
+		for _, pa := range s.ctl.GRApps() {
+			present[i][pa.App.Name] = true
+		}
+		for _, pa := range s.ctl.BEApps() {
+			present[i][pa.App.Name] = true
+		}
+	}
+	// Torn cross apps: lease present, a half missing → withdraw the rest.
+	var drop []string
+	for name, e := range r.apps {
+		c := e.cross
+		if c == nil {
+			continue
+		}
+		okA := present[c.a][halfName(name, c.a)]
+		okB := present[c.b][halfName(name, c.b)]
+		if okA && okB {
+			continue
+		}
+		if okA {
+			_ = r.slots[c.a].ctl.Remove(halfName(name, c.a))
+			present[c.a][halfName(name, c.a)] = false
+		}
+		if okB {
+			_ = r.slots[c.b].ctl.Remove(halfName(name, c.b))
+			present[c.b][halfName(name, c.b)] = false
+		}
+		_, _ = r.leases.Release(name)
+		drop = append(drop, name)
+	}
+	for _, name := range drop {
+		delete(r.apps, name)
+	}
+	// Orphan halves (admitted, no lease record survived) and intact
+	// intra apps.
+	for i, s := range r.slots {
+		for name, ok := range present[i] {
+			if !ok {
+				continue
+			}
+			logical, region, isHalf := logicalOfHalf(name)
+			if k > 1 && isHalf && region == i {
+				if e, ok := r.apps[logical]; ok && e.cross != nil {
+					continue // intact half of a registered cross app
+				}
+				_ = s.ctl.Remove(name)
+				continue
+			}
+			r.apps[name] = &appEntry{shard: i}
+		}
+	}
+}

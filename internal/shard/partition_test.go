@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparcle/internal/network"
+	"sparcle/internal/resource"
+	"sparcle/internal/workload"
+)
+
+func meshNet(t *testing.T, n int) *network.Network {
+	t.Helper()
+	inst, err := workload.Generate(workload.GenConfig{
+		Shape:    workload.ShapeLinear,
+		Topology: workload.TopoMesh,
+		Regime:   workload.Balanced,
+		NumNCPs:  n,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Net
+}
+
+// lineNet builds a 1D chain n0 - n1 - ... - n_{k-1}.
+func lineNet(t *testing.T, n int) *network.Network {
+	t.Helper()
+	b := network.NewBuilder("line")
+	for i := 0; i < n; i++ {
+		b.AddNCP("n"+string(rune('0'+i)), resource.Vector{resource.CPU: 100}, 0.01)
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddLink("l"+string(rune('0'+i)), network.NCPID(i), network.NCPID(i+1), 1000, 0.01)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestPartitionInvariants checks, across topologies and region counts:
+// every NCP lands in exactly one region, a link is a border link iff its
+// endpoints' regions differ, and region sub-networks preserve element
+// names and capacities.
+func TestPartitionInvariants(t *testing.T) {
+	nets := []*network.Network{meshNet(t, 9), lineNet(t, 8)}
+	for _, net := range nets {
+		for k := 1; k <= 4; k++ {
+			p, err := Partition(net, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", net.Name(), k, err)
+			}
+			if len(p.Regions) != k {
+				t.Fatalf("%s k=%d: %d regions", net.Name(), k, len(p.Regions))
+			}
+			// Every NCP in exactly one region.
+			owner := make([]int, net.NumNCPs())
+			for i := range owner {
+				owner[i] = -1
+			}
+			for _, reg := range p.Regions {
+				if len(reg.Members) == 0 {
+					t.Fatalf("%s k=%d: region %d empty", net.Name(), k, reg.Index)
+				}
+				for _, v := range reg.Members {
+					if owner[v] != -1 {
+						t.Fatalf("%s k=%d: NCP %d in regions %d and %d", net.Name(), k, v, owner[v], reg.Index)
+					}
+					owner[v] = reg.Index
+				}
+			}
+			for v, r := range owner {
+				if r == -1 {
+					t.Fatalf("%s k=%d: NCP %d in no region", net.Name(), k, v)
+				}
+				if p.RegionOf(network.NCPID(v)) != r {
+					t.Fatalf("%s k=%d: RegionOf(%d) = %d, member lists say %d",
+						net.Name(), k, v, p.RegionOf(network.NCPID(v)), r)
+				}
+			}
+			// Border iff endpoints differ; region links cover the rest.
+			border := map[network.LinkID]bool{}
+			for _, bl := range p.Border {
+				border[bl.Link] = true
+				l := net.Link(bl.Link)
+				if owner[l.A] == owner[l.B] {
+					t.Fatalf("%s k=%d: border link %d is region-internal", net.Name(), k, bl.Link)
+				}
+				if bl.A >= bl.B {
+					t.Fatalf("%s k=%d: border link %d regions not ordered (%d, %d)", net.Name(), k, bl.Link, bl.A, bl.B)
+				}
+				if p.RegionOf(bl.EndA) != bl.A || p.RegionOf(bl.EndB) != bl.B {
+					t.Fatalf("%s k=%d: border link %d endpoint regions mislabeled", net.Name(), k, bl.Link)
+				}
+			}
+			regionLinks := 0
+			for _, reg := range p.Regions {
+				regionLinks += reg.View.Net.NumLinks()
+				for li := 0; li < reg.View.Net.NumLinks(); li++ {
+					parentID := reg.View.ParentLink(network.LinkID(li))
+					l := net.Link(parentID)
+					if owner[l.A] != reg.Index || owner[l.B] != reg.Index {
+						t.Fatalf("%s k=%d: region %d holds link %d with foreign endpoint",
+							net.Name(), k, reg.Index, parentID)
+					}
+					if border[parentID] {
+						t.Fatalf("%s k=%d: link %d both border and regional", net.Name(), k, parentID)
+					}
+				}
+				// Names and capacities preserved.
+				for vi := 0; vi < reg.View.Net.NumNCPs(); vi++ {
+					got := reg.View.Net.NCP(network.NCPID(vi))
+					want := net.NCP(reg.View.ParentNCP(network.NCPID(vi)))
+					if got.Name != want.Name || !got.Capacity.Equal(want.Capacity) || got.FailProb != want.FailProb {
+						t.Fatalf("%s k=%d: region %d NCP %d differs from parent", net.Name(), k, reg.Index, vi)
+					}
+				}
+			}
+			if regionLinks+len(p.Border) != net.NumLinks() {
+				t.Fatalf("%s k=%d: %d region links + %d border != %d total",
+					net.Name(), k, regionLinks, len(p.Border), net.NumLinks())
+			}
+		}
+	}
+}
+
+// TestPartitionSingleRegionIdentity: the k=1 partition is the identity —
+// the single region's view IS the parent network (same pointer), and
+// there are no border links.
+func TestPartitionSingleRegionIdentity(t *testing.T) {
+	net := meshNet(t, 6)
+	p, err := Partition(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 1 || len(p.Border) != 0 {
+		t.Fatalf("k=1: %d regions, %d border links", len(p.Regions), len(p.Border))
+	}
+	view := p.Regions[0].View
+	if !view.Identity() {
+		t.Fatal("k=1 view is not the identity")
+	}
+	if view.Net != net {
+		t.Fatal("k=1 view does not share the parent network pointer")
+	}
+	if len(p.Regions[0].Members) != net.NumNCPs() {
+		t.Fatalf("k=1 region has %d members", len(p.Regions[0].Members))
+	}
+	for v := 0; v < net.NumNCPs(); v++ {
+		if p.RegionOf(network.NCPID(v)) != 0 {
+			t.Fatalf("k=1: NCP %d not in region 0", v)
+		}
+	}
+}
+
+// TestPartitionDeterministic: identical inputs give identical partitions.
+func TestPartitionDeterministic(t *testing.T) {
+	net := meshNet(t, 10)
+	a, err := Partition(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < net.NumNCPs(); v++ {
+		if a.RegionOf(network.NCPID(v)) != b.RegionOf(network.NCPID(v)) {
+			t.Fatalf("NCP %d assigned to %d then %d", v,
+				a.RegionOf(network.NCPID(v)), b.RegionOf(network.NCPID(v)))
+		}
+	}
+	if len(a.Border) != len(b.Border) {
+		t.Fatalf("border count %d then %d", len(a.Border), len(b.Border))
+	}
+}
+
+// TestPartitionBalance: BFS growth keeps regions within a reasonable
+// size spread on a connected mesh.
+func TestPartitionBalance(t *testing.T) {
+	net := meshNet(t, 12)
+	p, err := Partition(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := net.NumNCPs(), 0
+	for _, reg := range p.Regions {
+		if len(reg.Members) < min {
+			min = len(reg.Members)
+		}
+		if len(reg.Members) > max {
+			max = len(reg.Members)
+		}
+	}
+	if max > 2*min+1 {
+		t.Fatalf("unbalanced partition: min %d, max %d", min, max)
+	}
+}

@@ -1,0 +1,982 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sparcle/internal/core"
+	"sparcle/internal/network"
+	"sparcle/internal/obs"
+	"sparcle/internal/placement"
+)
+
+// Router is the thin admission front of a region-sharded control plane:
+// one core scheduler (behind the core.Control seam) per region, each
+// under its own lock, plus the border-lease table. Intra-region
+// operations touch exactly one shard lock, so unrelated regions admit
+// concurrently; cross-region operations take the two shard locks (in
+// region order, so they cannot deadlock) and the border mutex.
+type Router struct {
+	part   *Partitioning
+	slots  []*slot
+	spans  *obs.SpanTracer
+	newCtl func(sub *network.Network, region int) core.Control
+
+	// borderMu guards the lease table and border scales.
+	borderMu    sync.Mutex
+	leases      *LeaseTable
+	borderScale map[int]float64
+
+	// regMu guards the logical-name registry (apps). Registry claims are
+	// taken before shard locks and released without them, so the lock
+	// order regMu < slot.mu < borderMu is never violated.
+	regMu sync.Mutex
+	apps  map[string]*appEntry
+
+	// commit, when set, persists an Envelope for every mutating
+	// operation (see durable.go). The hook must be safe for concurrent
+	// calls: shards commit under their own locks.
+	commit EnvelopeHook
+}
+
+// slot is one region's scheduler with its lock.
+type slot struct {
+	mu     sync.Mutex
+	region *Region
+	ctl    core.Control
+	// cross names the logical cross-region app currently operating on
+	// this shard (set under mu); the commit wrapper tags the shard's
+	// records with it.
+	cross string
+}
+
+// appEntry routes a logical application name.
+type appEntry struct {
+	// shard owns an intra-region app; unused (0) when cross is set.
+	shard int
+	cross *crossApp
+	// claimed marks an in-flight admission holding the name.
+	claimed bool
+}
+
+// crossApp is the router-level record of an admitted cross-region app.
+type crossApp struct {
+	logical      string
+	class        core.Class
+	a, b, border int
+	bits         float64
+	rate         float64
+	avail        float64
+	target       float64
+	linkFailProb float64
+}
+
+// New partitions net into k regions and builds a Router running one
+// scheduler per region. newCtl constructs each region's scheduler over
+// its sub-network (for k = 1 the sub-network IS net); it is also reused
+// by Rebuild during journal recovery.
+func New(net *network.Network, k int, newCtl func(sub *network.Network, region int) core.Control) (*Router, error) {
+	part, err := Partition(net, k)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		part:        part,
+		newCtl:      newCtl,
+		leases:      NewLeaseTable(part),
+		borderScale: map[int]float64{},
+		apps:        map[string]*appEntry{},
+	}
+	for _, reg := range part.Regions {
+		r.slots = append(r.slots, &slot{region: reg, ctl: newCtl(reg.View.Net, reg.Index)})
+	}
+	return r, nil
+}
+
+// Partitioning exposes the region partition (read-only).
+func (r *Router) Partitioning() *Partitioning { return r.part }
+
+// NumShards returns the number of regions.
+func (r *Router) NumShards() int { return len(r.slots) }
+
+// Shard returns region i's scheduler. The caller must not mutate
+// through it while the router is serving (the router owns the locks);
+// tests use it to compare single-shard state against an unsharded
+// scheduler.
+func (r *Router) Shard(i int) core.Control { return r.slots[i].ctl }
+
+// SetSpans attaches a span tracer for router-level spans (the per-shard
+// lock.wait children) and propagates it to every shard scheduler that
+// supports span tracing, so the shards' own operation spans (core.submit
+// and its pipeline stages) keep flowing in a sharded deployment.
+func (r *Router) SetSpans(st *obs.SpanTracer) {
+	r.spans = st
+	for _, s := range r.slots {
+		if ss, ok := s.ctl.(interface{ SetSpans(*obs.SpanTracer) }); ok {
+			ss.SetSpans(st)
+		}
+	}
+}
+
+// lock acquires the slot's mutex, attributing the wait to a lock.wait
+// child span (mirroring the single-lock server's span, so sharded
+// lock.wait spans visibly shrink).
+func (s *slot) lock(sp *obs.Span) {
+	w := sp.Child("lock.wait")
+	w.SetInt("shard", int64(s.region.Index))
+	s.mu.Lock()
+	w.End()
+}
+
+// Result is one admission's outcome.
+type Result struct {
+	// Shard is the owning region (for cross apps, the lower region).
+	Shard int
+	// App is the placed application: the shard's own placement for
+	// intra-region apps, or a synthesized logical view (no paths — they
+	// live region-locally in the halves) for cross-region apps.
+	App *core.PlacedApp
+	// Cross is set for cross-region admissions.
+	Cross *CrossInfo
+}
+
+// CrossInfo describes a cross-region placement.
+type CrossInfo struct {
+	A, B         int
+	HalfA, HalfB *core.PlacedApp
+	Border       int
+	BorderLink   string
+	Bits         float64
+	Rate         float64
+	Availability float64
+}
+
+// errShardName rejects logical names that could collide with half names.
+func (r *Router) checkName(name string) error {
+	if len(r.slots) > 1 && strings.Contains(name, halfSep) {
+		return fmt.Errorf("shard: app name %q may not contain %q in a sharded deployment: %w",
+			name, halfSep, core.ErrRejected)
+	}
+	return nil
+}
+
+// claim reserves a logical name in the registry; it fails on duplicates.
+func (r *Router) claim(name string) error {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	if _, ok := r.apps[name]; ok {
+		return fmt.Errorf("shard: application %q already admitted: %w", name, core.ErrRejected)
+	}
+	r.apps[name] = &appEntry{claimed: true}
+	return nil
+}
+
+func (r *Router) unclaim(name string) {
+	r.regMu.Lock()
+	delete(r.apps, name)
+	r.regMu.Unlock()
+}
+
+func (r *Router) settle(name string, e *appEntry) {
+	r.regMu.Lock()
+	e.claimed = false
+	r.apps[name] = e
+	r.regMu.Unlock()
+}
+
+// Submit classifies app and admits it: intra-region apps route, under
+// only their shard's lock, to their region's scheduler; cross-region
+// apps run the two-phase border-lease admission. sp (nil-safe) parents
+// the lock.wait and shard operation spans.
+func (r *Router) Submit(app core.App, sp *obs.Span) (*Result, error) {
+	if err := r.checkName(app.Name); err != nil {
+		return nil, err
+	}
+	regions, err := r.part.classify(app)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.slots) == 1 {
+		// Single shard: drive the seed scheduler with zero interposition
+		// (no registry, no translation) — bit-for-bit the unsharded path.
+		return r.submitIntra(app, 0, sp, false)
+	}
+	if len(regions) == 2 {
+		return r.submitCross(app, regions[0], regions[1], sp)
+	}
+	shard := 0
+	if len(regions) == 1 {
+		shard = regions[0]
+	} else {
+		shard = r.leastLoadedShard(sp)
+	}
+	return r.submitIntra(app, shard, sp, true)
+}
+
+func (r *Router) submitIntra(app core.App, shard int, sp *obs.Span, register bool) (*Result, error) {
+	if register {
+		if err := r.claim(app.Name); err != nil {
+			return nil, err
+		}
+	}
+	s := r.slots[shard]
+	local, err := localizeApp(app, s.region.View)
+	if err != nil {
+		if register {
+			r.unclaim(app.Name)
+		}
+		return nil, err
+	}
+	s.lock(sp)
+	pa, err := s.ctl.Submit(local)
+	s.mu.Unlock()
+	if err != nil {
+		if register {
+			r.unclaim(app.Name)
+		}
+		return nil, err
+	}
+	if register {
+		r.settle(app.Name, &appEntry{shard: shard})
+	}
+	return &Result{Shard: shard, App: pa}, nil
+}
+
+// leastLoadedShard picks the shard with the fewest admitted apps (ties
+// to the lowest region index) for apps with no pins.
+func (r *Router) leastLoadedShard(sp *obs.Span) int {
+	best, bestN := 0, -1
+	for i, s := range r.slots {
+		s.lock(sp)
+		n := len(s.ctl.GRApps()) + len(s.ctl.BEApps())
+		s.mu.Unlock()
+		if bestN < 0 || n < bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// rateTol is the relative tolerance inside which the two halves' rates
+// are considered equal (floating-point slack of two independent solves).
+const rateTol = 1e-9
+
+// submitCross admits an app whose pins span regions a < b: decompose
+// into two halves joined at the best border link, reserve side A capped
+// by the lease headroom, side B capped by side A's achieved rate, trim
+// side A down if B got less, then lease bits*rate on the border link.
+// Any failure rolls back both halves; the combined availability
+// aA*aB*(1-p_link) must clear the app's target.
+func (r *Router) submitCross(app core.App, a, b int, sp *obs.Span) (*Result, error) {
+	if err := r.claim(app.Name); err != nil {
+		return nil, err
+	}
+	res, cross, err := r.admitCross(app, a, b, sp)
+	if err != nil {
+		r.unclaim(app.Name)
+		return nil, err
+	}
+	r.settle(app.Name, &appEntry{shard: a, cross: cross})
+	return res, nil
+}
+
+func crossTarget(q core.QoS) float64 {
+	if q.Class == core.GuaranteedRate {
+		return q.MinRateAvailability
+	}
+	return q.Availability
+}
+
+func (r *Router) admitCross(app core.App, a, b int, sp *obs.Span) (*Result, *crossApp, error) {
+	sa, sb := r.slots[a], r.slots[b]
+	sa.lock(sp)
+	defer sa.mu.Unlock()
+	sb.lock(sp)
+	defer sb.mu.Unlock()
+
+	r.borderMu.Lock()
+	border, ok := chooseBorder(r.part, r.leases, a, b)
+	var headroom float64
+	if ok {
+		headroom = r.leases.Available(border)
+	}
+	r.borderMu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("shard: regions %d and %d share no border link for app %q: %w",
+			a, b, app.Name, core.ErrRejected)
+	}
+	plan, err := planCross(app, r.part, a, b, border)
+	if err != nil {
+		return nil, nil, err
+	}
+	if app.QoS.Class == core.BestEffort {
+		// A guaranteed-rate app may lease everything its reservation can
+		// carry — that is what a bottleneck-rate reservation means. A
+		// best-effort app must share: cap it at a slice of the remaining
+		// headroom so successive BE apps split the border geometrically
+		// instead of the first arrival starving the rest. The reservation
+		// its halves make inside each region shrinks with the same factor,
+		// which keeps intra-region paths from zeroing out under sustained
+		// BE churn. This is a static stand-in for the eq. (4)
+		// proportional-fair share, which cannot span two independent
+		// per-region solvers.
+		headroom /= beShareDiv
+	}
+	r0 := headroom / plan.bits
+	if r0 <= 0 {
+		return nil, nil, fmt.Errorf("shard: border link %q has no lease headroom for app %q: %w",
+			r.part.Parent.Link(r.part.Border[border].Link).Name, app.Name, core.ErrRejected)
+	}
+
+	submitHalf := func(s *slot, half core.App, cap float64) (*core.PlacedApp, error) {
+		half.QoS.RateCap = cap
+		s.cross = app.Name
+		pa, err := s.ctl.Submit(half)
+		s.cross = ""
+		return pa, err
+	}
+	paA, err := submitHalf(sa, plan.halfA, r0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: app %q region %d half: %w", app.Name, a, err)
+	}
+	rollbackA := func() {
+		sa.cross = app.Name
+		_ = sa.ctl.Remove(plan.halfA.Name)
+		sa.cross = ""
+	}
+	rateA := paA.TotalRate()
+	paB, err := submitHalf(sb, plan.halfB, rateA)
+	if err != nil {
+		rollbackA()
+		return nil, nil, fmt.Errorf("shard: app %q region %d half: %w", app.Name, b, err)
+	}
+	rollbackB := func() {
+		sb.cross = app.Name
+		_ = sb.ctl.Remove(plan.halfB.Name)
+		sb.cross = ""
+	}
+	rate := paB.TotalRate()
+	if rate < rateA*(1-rateTol) {
+		// Side B is the bottleneck: trim side A's reservation down to
+		// rate so the lease (and the end-to-end claim) is exact. The
+		// resubmission sees at least the capacity the removed half had,
+		// so with the cap binding it reserves exactly rate.
+		rollbackA()
+		paA, err = submitHalf(sa, plan.halfA, rate)
+		if err != nil {
+			rollbackB()
+			return nil, nil, fmt.Errorf("shard: app %q region %d trim: %w", app.Name, a, err)
+		}
+		rateA = paA.TotalRate()
+		if rateA < rate*(1-rateTol) {
+			rollbackA()
+			rollbackB()
+			return nil, nil, fmt.Errorf("shard: app %q rate trim did not converge (%v vs %v): %w",
+				app.Name, rateA, rate, core.ErrRejected)
+		}
+	}
+
+	avail := paA.Availability * paB.Availability * (1 - plan.linkFailProb)
+	if plan.target > 0 && avail < plan.target {
+		rollbackA()
+		rollbackB()
+		return nil, nil, fmt.Errorf("shard: app %q end-to-end availability %.4f < requested %.4f (a=%.4f, b=%.4f, border %q): %w",
+			app.Name, avail, plan.target, paA.Availability, paB.Availability,
+			r.part.Parent.Link(r.part.Border[border].Link).Name, core.ErrRejected)
+	}
+
+	rate = paB.TotalRate()
+	if rateA < rate {
+		rate = rateA
+	}
+	r.borderMu.Lock()
+	_, err = r.leases.Acquire(app.Name, border, plan.bits, rate)
+	r.borderMu.Unlock()
+	if err != nil {
+		rollbackA()
+		rollbackB()
+		return nil, nil, fmt.Errorf("shard: app %q: %w: %v", app.Name, core.ErrRejected, err)
+	}
+	cross := &crossApp{
+		logical:      app.Name,
+		class:        app.QoS.Class,
+		a:            a,
+		b:            b,
+		border:       border,
+		bits:         plan.bits,
+		rate:         rate,
+		avail:        avail,
+		target:       plan.target,
+		linkFailProb: plan.linkFailProb,
+	}
+	if cerr := r.commitLease(leaseAcquire, cross); cerr != nil {
+		return nil, nil, cerr
+	}
+
+	return &Result{
+		Shard: a,
+		App: &core.PlacedApp{
+			App:          app,
+			Availability: avail,
+		},
+		Cross: &CrossInfo{
+			A:            a,
+			B:            b,
+			HalfA:        paA,
+			HalfB:        paB,
+			Border:       border,
+			BorderLink:   r.part.Parent.Link(r.part.Border[border].Link).Name,
+			Bits:         plan.bits,
+			Rate:         rate,
+			Availability: avail,
+		},
+	}, cross, nil
+}
+
+// SubmitBatch admits a batch. With one shard it is the seed scheduler's
+// atomic batch verbatim. Across shards, the batch is split: each
+// shard's intra-region members run as that shard's atomic sub-batch
+// (one solve, one record), and cross-region members are admitted
+// individually; atomicity is per shard, not global.
+func (r *Router) SubmitBatch(apps []core.App, sp *obs.Span) ([]core.BatchResult, error) {
+	if len(r.slots) == 1 {
+		s := r.slots[0]
+		s.lock(sp)
+		defer s.mu.Unlock()
+		return s.ctl.SubmitBatch(apps)
+	}
+	results := make([]core.BatchResult, len(apps))
+	byShard := map[int][]int{} // shard -> indices into apps
+	var shards []int
+	for i, app := range apps {
+		results[i].Name = app.Name
+		if err := r.checkName(app.Name); err != nil {
+			results[i].Err = err
+			continue
+		}
+		regions, err := r.part.classify(app)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		switch len(regions) {
+		case 2:
+			res, err := r.submitCross(app, regions[0], regions[1], sp)
+			if err != nil {
+				results[i].Err = err
+			} else {
+				results[i].App = res.App
+			}
+		default:
+			shard := 0
+			if len(regions) == 1 {
+				shard = regions[0]
+			} else {
+				shard = r.leastLoadedShard(sp)
+			}
+			if err := r.claim(app.Name); err != nil {
+				results[i].Err = err
+				continue
+			}
+			if _, ok := byShard[shard]; !ok {
+				shards = append(shards, shard)
+			}
+			byShard[shard] = append(byShard[shard], i)
+		}
+	}
+	sort.Ints(shards)
+	var firstErr error
+	for _, shard := range shards {
+		idx := byShard[shard]
+		sub := make([]core.App, 0, len(idx))
+		ok := true
+		for _, i := range idx {
+			local, err := localizeApp(apps[i], r.slots[shard].region.View)
+			if err != nil {
+				results[i].Err = err
+				r.unclaim(apps[i].Name)
+				ok = false
+				continue
+			}
+			sub = append(sub, local)
+		}
+		if !ok && len(sub) == 0 {
+			continue
+		}
+		s := r.slots[shard]
+		s.lock(sp)
+		res, err := s.ctl.SubmitBatch(sub)
+		s.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		j := 0
+		for _, i := range idx {
+			if results[i].Err != nil {
+				continue // localization failure above
+			}
+			results[i] = res[j]
+			j++
+			if results[i].Err != nil {
+				r.unclaim(apps[i].Name)
+			} else {
+				r.settle(apps[i].Name, &appEntry{shard: shard})
+			}
+		}
+	}
+	return results, firstErr
+}
+
+// Remove withdraws a logical application: intra-region apps release in
+// their shard; cross-region apps release both halves and return the
+// lease to the border link (the sharded analogue of a GR release).
+func (r *Router) Remove(name string, sp *obs.Span) error {
+	if len(r.slots) == 1 {
+		s := r.slots[0]
+		s.lock(sp)
+		defer s.mu.Unlock()
+		return s.ctl.Remove(name)
+	}
+	r.regMu.Lock()
+	e, ok := r.apps[name]
+	if !ok || e.claimed {
+		r.regMu.Unlock()
+		return fmt.Errorf("shard: no admitted application named %q: %w", name, core.ErrNotFound)
+	}
+	r.regMu.Unlock()
+	if e.cross == nil {
+		s := r.slots[e.shard]
+		s.lock(sp)
+		err := s.ctl.Remove(name)
+		s.mu.Unlock()
+		if err != nil && errors.Is(err, core.ErrNotFound) {
+			return err
+		}
+		r.unclaim(name)
+		return err
+	}
+	return r.removeCross(name, e.cross, sp)
+}
+
+func (r *Router) removeCross(name string, c *crossApp, sp *obs.Span) error {
+	sa, sb := r.slots[c.a], r.slots[c.b]
+	sa.lock(sp)
+	defer sa.mu.Unlock()
+	sb.lock(sp)
+	defer sb.mu.Unlock()
+
+	var firstErr error
+	sa.cross = name
+	if err := sa.ctl.Remove(halfName(name, c.a)); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	sa.cross = ""
+	sb.cross = name
+	if err := sb.ctl.Remove(halfName(name, c.b)); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	sb.cross = ""
+	r.borderMu.Lock()
+	_, lerr := r.leases.Release(name)
+	r.borderMu.Unlock()
+	if lerr == nil {
+		if cerr := r.commitLease(leaseRelease, c); cerr != nil && firstErr == nil {
+			firstErr = cerr
+		}
+	} else if firstErr == nil {
+		firstErr = lerr
+	}
+	r.unclaim(name)
+	return firstErr
+}
+
+// Repair re-places an application after element failures. Intra-region
+// repair is the shard scheduler's Repair. Cross-region repair releases
+// the lease, repairs both halves, re-trims their rates to agree, and
+// leases the new rate; if any step fails the app is fully withdrawn
+// (unlike an intra repair, which restores the old placement — the old
+// two-shard placement cannot be restored atomically once one side moved).
+func (r *Router) Repair(name string, sp *obs.Span) (*Result, error) {
+	if len(r.slots) == 1 {
+		s := r.slots[0]
+		s.lock(sp)
+		defer s.mu.Unlock()
+		pa, err := s.ctl.Repair(name)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Shard: 0, App: pa}, nil
+	}
+	r.regMu.Lock()
+	e, ok := r.apps[name]
+	if !ok || e.claimed {
+		r.regMu.Unlock()
+		return nil, fmt.Errorf("shard: no admitted application named %q: %w", name, core.ErrNotFound)
+	}
+	r.regMu.Unlock()
+	if e.cross == nil {
+		s := r.slots[e.shard]
+		s.lock(sp)
+		pa, err := s.ctl.Repair(name)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Shard: e.shard, App: pa}, nil
+	}
+	return r.repairCross(name, e, sp)
+}
+
+func (r *Router) repairCross(name string, e *appEntry, sp *obs.Span) (*Result, error) {
+	c := e.cross
+	sa, sb := r.slots[c.a], r.slots[c.b]
+	sa.lock(sp)
+	defer sa.mu.Unlock()
+	sb.lock(sp)
+	defer sb.mu.Unlock()
+
+	fail := func(err error) (*Result, error) {
+		// Full withdrawal: remove whatever halves remain and the lease.
+		sa.cross = name
+		_ = sa.ctl.Remove(halfName(name, c.a))
+		sa.cross = ""
+		sb.cross = name
+		_ = sb.ctl.Remove(halfName(name, c.b))
+		sb.cross = ""
+		r.borderMu.Lock()
+		_, lerr := r.leases.Release(name)
+		r.borderMu.Unlock()
+		if lerr == nil {
+			_ = r.commitLease(leaseRelease, c)
+		}
+		r.unclaim(name)
+		return nil, fmt.Errorf("shard: cross-region repair of %q failed, app withdrawn: %w", name, err)
+	}
+
+	repairHalf := func(s *slot, region int) (*core.PlacedApp, error) {
+		s.cross = name
+		pa, err := s.ctl.Repair(halfName(name, region))
+		s.cross = ""
+		return pa, err
+	}
+	paA, err := repairHalf(sa, c.a)
+	if err != nil {
+		return fail(err)
+	}
+	paB, err := repairHalf(sb, c.b)
+	if err != nil {
+		return fail(err)
+	}
+	rateA, rateB := paA.TotalRate(), paB.TotalRate()
+	rate := rateA
+	if rateB < rate {
+		rate = rateB
+	}
+	// The border link's capacity may have changed (fluctuation) since the
+	// lease was granted: renegotiate against its *current* headroom —
+	// capacity minus the OTHER apps' leases, since this app's own lease is
+	// released before the new one is acquired. (Not Available()+own: that
+	// clamps at zero and would overstate headroom once capacity falls
+	// below the old lease.) BE apps keep their geometric share.
+	r.borderMu.Lock()
+	headroom := r.leases.Capacity(c.border) - (r.leases.Leased(c.border) - c.bits*c.rate)
+	r.borderMu.Unlock()
+	if c.class == core.BestEffort {
+		headroom /= beShareDiv
+	}
+	if headroom <= 0 {
+		return fail(fmt.Errorf("shard: border link %q has no lease headroom: %w",
+			r.part.Parent.Link(r.part.Border[c.border].Link).Name, core.ErrRejected))
+	}
+	if cap := headroom / c.bits; cap < rate {
+		rate = cap
+	}
+	trim := func(s *slot, region int, pa *core.PlacedApp) (*core.PlacedApp, error) {
+		app := pa.App
+		app.QoS.RateCap = rate
+		s.cross = name
+		defer func() { s.cross = "" }()
+		if err := s.ctl.Remove(pa.App.Name); err != nil {
+			return nil, err
+		}
+		return s.ctl.Submit(app)
+	}
+	if rateA > rate*(1+rateTol) {
+		if paA, err = trim(sa, c.a, paA); err != nil {
+			return fail(err)
+		}
+	}
+	if rateB > rate*(1+rateTol) {
+		if paB, err = trim(sb, c.b, paB); err != nil {
+			return fail(err)
+		}
+	}
+	avail := paA.Availability * paB.Availability * (1 - c.linkFailProb)
+	if c.target > 0 && avail < c.target {
+		return fail(fmt.Errorf("shard: repaired availability %.4f < requested %.4f: %w",
+			avail, c.target, core.ErrRejected))
+	}
+	r.borderMu.Lock()
+	_, lerr := r.leases.Release(name)
+	if lerr == nil {
+		_, lerr = r.leases.Acquire(name, c.border, c.bits, rate)
+	}
+	r.borderMu.Unlock()
+	if lerr != nil {
+		return fail(lerr)
+	}
+	c.rate = rate
+	c.avail = avail
+	if cerr := r.commitLease(leaseRenew, c); cerr != nil {
+		return nil, cerr
+	}
+	return &Result{
+		Shard: c.a,
+		App: &core.PlacedApp{
+			App:          core.App{Name: name, QoS: core.QoS{Class: c.class}},
+			Availability: avail,
+		},
+		Cross: &CrossInfo{
+			A: c.a, B: c.b, HalfA: paA, HalfB: paB,
+			Border:       c.border,
+			BorderLink:   r.part.Parent.Link(r.part.Border[c.border].Link).Name,
+			Bits:         c.bits,
+			Rate:         rate,
+			Availability: avail,
+		},
+	}, nil
+}
+
+// ApplyFluctuation applies a global capacity fluctuation: the scale map
+// (keyed by parent-network elements) is split per region and into
+// border-link scales; each shard re-evaluates its own population, and
+// the lease table reports cross-region apps whose leases no longer fit.
+// Like core.ApplyFluctuation, the scale REPLACES the previous one —
+// elements absent from the map return to nominal capacity.
+func (r *Router) ApplyFluctuation(scale core.ElementScale, sp *obs.Span) (*core.FluctuationReport, error) {
+	if len(r.slots) == 1 {
+		s := r.slots[0]
+		s.lock(sp)
+		defer s.mu.Unlock()
+		return s.ctl.ApplyFluctuation(scale)
+	}
+	parent := r.part.Parent
+	nNCP, nLink := parent.NumNCPs(), parent.NumLinks()
+	for e, f := range scale {
+		if f < 0 {
+			return nil, fmt.Errorf("shard: invalid capacity scale %v for element %d", f, e)
+		}
+		if int(e) < 0 || int(e) >= nNCP+nLink {
+			return nil, fmt.Errorf("shard: unknown element %d in fluctuation", e)
+		}
+	}
+	// Split the parent-element scale into per-region local scales and
+	// border scales.
+	borderIdx := map[network.LinkID]int{}
+	for i, bl := range r.part.Border {
+		borderIdx[bl.Link] = i
+	}
+	sub := make([]core.ElementScale, len(r.slots))
+	border := map[int]float64{}
+	for e, f := range scale {
+		if int(e) < nNCP {
+			v := network.NCPID(e)
+			reg := r.part.RegionOf(v)
+			view := r.part.Regions[reg].View
+			local, _ := view.LocalNCP(v)
+			if sub[reg] == nil {
+				sub[reg] = core.ElementScale{}
+			}
+			sub[reg][placement.NCPElement(local)] = f
+			continue
+		}
+		l := network.LinkID(int(e) - nNCP)
+		if bi, ok := borderIdx[l]; ok {
+			border[bi] = f
+			continue
+		}
+		reg := r.part.RegionOf(parent.Link(l).A)
+		view := r.part.Regions[reg].View
+		local, ok := view.LocalLink(l)
+		if !ok {
+			return nil, fmt.Errorf("shard: link %d belongs to no region", l)
+		}
+		if sub[reg] == nil {
+			sub[reg] = core.ElementScale{}
+		}
+		sub[reg][placement.LinkElement(view.Net, local)] = f
+	}
+
+	for _, s := range r.slots {
+		s.lock(sp)
+		defer s.mu.Unlock()
+	}
+	report := &core.FluctuationReport{BERates: map[string]float64{}}
+	var firstErr error
+	for i, s := range r.slots {
+		rep, err := s.ctl.ApplyFluctuation(sub[i])
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if rep == nil {
+			continue
+		}
+		for _, v := range rep.ViolatedGR {
+			report.ViolatedGR = append(report.ViolatedGR, r.logicalName(v))
+		}
+		for n, rate := range rep.BERates {
+			report.BERates[n] = rate
+		}
+	}
+	r.borderMu.Lock()
+	for i := range r.part.Border {
+		r.leases.SetScale(i, 1)
+	}
+	r.borderScale = border
+	for i, f := range border {
+		r.leases.SetScale(i, f)
+	}
+	violated := r.leases.Violated()
+	r.borderMu.Unlock()
+	sort.Strings(violated)
+	report.ViolatedGR = append(report.ViolatedGR, violated...)
+	sort.Strings(report.ViolatedGR)
+	report.ViolatedGR = dedupe(report.ViolatedGR)
+	if cerr := r.commitBorderScale(border); cerr != nil && firstErr == nil {
+		firstErr = cerr
+	}
+	return report, firstErr
+}
+
+// logicalName maps a shard-local app name back to its logical name
+// (halves lose their region suffix).
+func (r *Router) logicalName(name string) string {
+	logical, _, ok := logicalOfHalf(name)
+	if !ok {
+		return name
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	if e, ok := r.apps[logical]; ok && e.cross != nil {
+		return logical
+	}
+	return name
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// AppsByShard returns each shard's admitted apps (GR then BE, admission
+// order), locking one shard at a time.
+func (r *Router) AppsByShard(sp *obs.Span) [][]*core.PlacedApp {
+	out := make([][]*core.PlacedApp, len(r.slots))
+	for i, s := range r.slots {
+		s.lock(sp)
+		out[i] = append(s.ctl.GRApps(), s.ctl.BEApps()...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Region returns region i's partition cell.
+func (r *Router) Region(i int) *Region { return r.part.Regions[i] }
+
+// ShardOf returns the shard owning the logical application name (for
+// cross-region apps, the lower region). The second result is false when
+// the name is unknown or its admission has not settled. Single-shard
+// routers keep no registry; everything lives in shard 0.
+func (r *Router) ShardOf(name string) (int, bool) {
+	if len(r.slots) == 1 {
+		return 0, true
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	e, ok := r.apps[name]
+	if !ok || e.claimed {
+		return 0, false
+	}
+	if e.cross != nil {
+		return e.cross.a, true
+	}
+	return e.shard, true
+}
+
+// Stats is a point-in-time health view of the sharded control plane.
+type Stats struct {
+	Shards []ShardStats  `json:"shards"`
+	Leases int           `json:"leases"`
+	Border []BorderStats `json:"border,omitempty"`
+}
+
+// ShardStats is one region's population.
+type ShardStats struct {
+	Region   int `json:"region"`
+	NCPs     int `json:"ncps"`
+	Links    int `json:"links"`
+	GRApps   int `json:"grApps"`
+	BEApps   int `json:"beApps"`
+	Admitted int `json:"admitted"`
+	// SolverFlows/SolverNNZ expose the warm BE solver size (the
+	// per-shard alloc rows).
+	SolverFlows int `json:"solverFlows"`
+	SolverNNZ   int `json:"solverNNZ"`
+}
+
+// BorderStats is one border link's lease occupancy.
+type BorderStats struct {
+	Link        string  `json:"link"`
+	A           int     `json:"a"`
+	B           int     `json:"b"`
+	Capacity    float64 `json:"capacity"`
+	Leased      float64 `json:"leased"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Stats gathers per-shard and border statistics, locking one shard at a
+// time.
+func (r *Router) Stats() Stats {
+	st := Stats{}
+	for i, s := range r.slots {
+		s.mu.Lock()
+		gr, be := len(s.ctl.GRApps()), len(s.ctl.BEApps())
+		flows, nnz := s.ctl.SolverRows()
+		s.mu.Unlock()
+		st.Shards = append(st.Shards, ShardStats{
+			Region:      i,
+			NCPs:        s.region.View.Net.NumNCPs(),
+			Links:       s.region.View.Net.NumLinks(),
+			GRApps:      gr,
+			BEApps:      be,
+			Admitted:    gr + be,
+			SolverFlows: flows,
+			SolverNNZ:   nnz,
+		})
+	}
+	r.borderMu.Lock()
+	st.Leases = r.leases.Count()
+	for i, bl := range r.part.Border {
+		st.Border = append(st.Border, BorderStats{
+			Link:        r.part.Parent.Link(bl.Link).Name,
+			A:           bl.A,
+			B:           bl.B,
+			Capacity:    r.leases.Capacity(i),
+			Leased:      r.leases.Leased(i),
+			Utilization: r.leases.Utilization(i),
+		})
+	}
+	r.borderMu.Unlock()
+	return st
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_serve.json: an open-loop serving ladder of four
+# labelled sparcle-load runs over two scenarios and two lock regimes.
+#
+#   1. cloud-field, single lock, rate=100  — the PR 6 baseline config;
+#      arrival-bound, so admissions/sec tracks the offered rate.
+#   2. mesh16, shards=4, rate=100          — same arrival-bound regime on
+#      the denser network; shows the sharded admission-ratio penalty
+#      (halves must place inside one region) honestly.
+#   3. mesh16, single lock, rate=2000      — past the single lock's
+#      saturation point; admissions/sec is now server-bound.
+#   4. mesh16, shards=4, rate=2000         — the same overload against
+#      four region shards; admissions/sec should clearly beat run 3.
+#
+# Usage: scripts/bench_serve.sh [outfile]   (default: BENCH_serve.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_serve.json}
+duration=${DURATION:-10s}
+seed=${SEED:-42}
+
+work=$(mktemp -d)
+trap 'kill "${pid:-}" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/sparcle" ./cmd/sparcle
+go build -o "$work/sparcle-server" ./cmd/sparcle-server
+go build -o "$work/sparcle-load" ./cmd/sparcle-load
+"$work/sparcle" -example > "$work/cloud-field.json"
+rm -f "$out"
+
+# run <label> <scenario> <rate> <server-flags...>
+run() {
+    local label=$1 scenario=$2 rate=$3
+    shift 3
+    "$work/sparcle-server" -f "$scenario" -addr 127.0.0.1:0 -spans "$@" \
+        > "$work/server.log" 2>&1 &
+    pid=$!
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^sparcle-server listening on \([^ ]*\).*/\1/p' "$work/server.log")
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$work/server.log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "server never became ready:"; cat "$work/server.log"; exit 1; }
+    echo "== $label"
+    "$work/sparcle-load" -addr "$addr" -rate "$rate" -duration "$duration" \
+        -seed "$seed" -keep 16 -out "$out" -append -label "$label" | grep offered
+    kill "$pid"
+    wait "$pid" 2>/dev/null || true
+}
+
+run "cloud-field single rate=100" "$work/cloud-field.json" 100
+run "mesh16 shards=4 rate=100"    testdata/mesh16.json     100  -shards 4
+run "mesh16 single rate=2000"     testdata/mesh16.json     2000
+run "mesh16 shards=4 rate=2000"   testdata/mesh16.json     2000 -shards 4
+
+python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for e in doc["ladder"]:
+    c, cl = e["config"], e["client"]
+    print(f'{c.get("label", "?"):34s} shards={c.get("shards", 1)} '
+          f'admitted={cl["admitted"]:5d} ({cl["admissionsPerSec"]:7.2f}/s) '
+          f'rejected={cl["rejected"]} dropped={cl["dropped"]}')
+EOF

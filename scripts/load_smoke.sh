@@ -3,7 +3,10 @@
 # the example scenario, fire a short open-loop Poisson run at it with
 # sparcle-load, and require (a) a nonzero number of admissions, (b) a
 # parseable non-empty Chrome trace from GET /debug/flight, and (c) a
-# BENCH_serve.json report carrying per-stage latency quantiles.
+# BENCH_serve.json report carrying per-stage latency quantiles. A second
+# pass reboots the server region-sharded (-shards 4) and appends a
+# labelled ladder entry to the same report, so the sharded admission
+# path gets the same black-box treatment as the single-lock one.
 set -euo pipefail
 
 rate=${RATE:-100}
@@ -53,6 +56,51 @@ names = {e["name"] for e in events}
 for stage in ("http.submit", "core.submit", "assign.rank"):
     assert stage in names, f"stage {stage} missing from trace: {sorted(names)}"
 print(f"trace ok: {len(events)} events, {len(names)} distinct stages")
+EOF
+
+echo "== sharded pass: boot with -shards 4"
+"$work/sparcle-server" -f "$work/scenario.json" -addr 127.0.0.1:0 -shards 4 \
+    -spans -spans-chrome "$work/trace-shards.json" -flight 256 \
+    > "$work/server-shards.log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^sparcle-server listening on \([^ ]*\).*/\1/p' "$work/server-shards.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "sharded server died:"; cat "$work/server-shards.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "sharded server never became ready:"; cat "$work/server-shards.log"; exit 1; }
+grep -q 'sparcle-server sharded: 4 regions' "$work/server-shards.log"
+
+echo "== sharded open-loop run: rate=$rate for $duration (appended to the ladder)"
+"$work/sparcle-load" -addr "$addr" -rate "$rate" -duration "$duration" \
+    -keep 16 -out "$work/BENCH_serve.json" -append -label "shards=4" \
+    -min-admitted "$min_admitted" -check-flight
+
+echo "== ladder sanity"
+python3 - "$work/BENCH_serve.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ladder = doc["ladder"]
+assert len(ladder) == 2, f"want 2 ladder entries, got {len(ladder)}"
+assert ladder[1]["config"].get("shards") == 4, ladder[1]["config"]
+assert "core.submit" in ladder[1]["server"]["stages"], "sharded run lost stage spans"
+print("ladder ok:", [f'{e["config"].get("label") or "single"}: '
+                     f'{e["client"]["admitted"]} admitted' for e in ladder])
+EOF
+
+echo "== sharded trace parses after shutdown"
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+python3 - "$work/trace-shards.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "sharded trace empty"
+names = {e["name"] for e in events}
+for stage in ("http.submit", "core.submit", "lock.wait"):
+    assert stage in names, f"stage {stage} missing from sharded trace: {sorted(names)}"
+print(f"sharded trace ok: {len(events)} events, {len(names)} distinct stages")
 EOF
 
 echo "PASS: load smoke complete"
