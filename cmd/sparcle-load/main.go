@@ -92,6 +92,9 @@ type report struct {
 		// Shards is the server's region-shard count, read from
 		// /healthz (1 = unsharded).
 		Shards int `json:"shards,omitempty"`
+		// Concurrency is the closed-loop in-flight level of a
+		// -concurrency sweep rung (0 = open-loop Poisson run).
+		Concurrency int `json:"concurrency,omitempty"`
 	} `json:"config"`
 	Client struct {
 		Attempted        int       `json:"attempted"`
@@ -141,6 +144,7 @@ func run(args []string, out io.Writer) error {
 	label := fs.String("label", "", "annotation stored with the run (e.g. shards=4)")
 	minAdmitted := fs.Int("min-admitted", 0, "fail unless at least this many admissions succeeded")
 	checkFlight := fs.Bool("check-flight", false, "fail unless GET /debug/flight serves a parseable Chrome trace")
+	concurrency := fs.String("concurrency", "", "comma-separated in-flight levels (e.g. 1,8,64,256): run a closed-loop contention sweep instead of the open-loop Poisson run, one ladder entry per level")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -156,6 +160,27 @@ func run(args []string, out io.Writer) error {
 	gen, err := newGenerator(info, *alpha, *maxCTs, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
+	}
+
+	if *concurrency != "" {
+		levels, err := parseLevels(*concurrency)
+		if err != nil {
+			return err
+		}
+		sw := sweepConfig{
+			base: base, gen: gen, levels: levels, duration: *duration,
+			keep: *keep, outFile: *outFile, label: *label,
+			minAdmitted: *minAdmitted,
+		}
+		sw.template.Config.Addr = *addr
+		sw.template.Config.DurationSec = duration.Seconds()
+		sw.template.Config.Seed = *seed
+		sw.template.Config.Keep = *keep
+		sw.template.Config.Alpha = *alpha
+		sw.template.Config.MaxCTs = *maxCTs
+		sw.template.Config.Network = info.Name
+		sw.template.Config.Shards = fetchShards(base)
+		return runSweep(sw, out)
 	}
 
 	var rep report
@@ -279,6 +304,129 @@ func run(args []string, out io.Writer) error {
 	}
 	if admitted < *minAdmitted {
 		return fmt.Errorf("admitted %d < required %d", admitted, *minAdmitted)
+	}
+	return nil
+}
+
+// sweepConfig parameterizes one -concurrency contention sweep.
+type sweepConfig struct {
+	base        string
+	gen         *generator
+	levels      []int
+	duration    time.Duration
+	keep        int
+	outFile     string
+	label       string
+	minAdmitted int
+	template    report
+}
+
+// parseLevels parses the -concurrency list ("1,8,64,256").
+func parseLevels(s string) ([]int, error) {
+	var levels []int
+	for _, f := range bytes.Split([]byte(s), []byte(",")) {
+		var n int
+		if _, err := fmt.Sscanf(string(bytes.TrimSpace(f)), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -concurrency level %q", f)
+		}
+		levels = append(levels, n)
+	}
+	return levels, nil
+}
+
+// runSweep drives the closed-loop contention ladder: for each level, that
+// many workers submit back-to-back for the configured duration, so the
+// in-flight count — not an arrival schedule — is the controlled variable.
+// This is the shape that exercises group commit: at level k, up to k
+// submitters race the commit queue and coalesce into shared groups. Each
+// level appends one ladder entry to -out labeled with the level.
+func runSweep(sw sweepConfig, out io.Writer) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		genMu sync.Mutex // generator RNG is not goroutine-safe
+		seq   int        // unique app names across all levels
+	)
+	totalAdmitted := 0
+	for _, level := range sw.levels {
+		rep := sw.template
+		rep.Config.Concurrency = level
+		rep.Config.Label = fmt.Sprintf("conc=%d", level)
+		if sw.label != "" {
+			rep.Config.Label = sw.label + " " + rep.Config.Label
+		}
+		lat := obs.NewRegistry().Histogram("load_latency_seconds", obs.SpanBuckets)
+
+		var (
+			mu                                 sync.Mutex
+			resident                           []string
+			admitted, rejected, errs, attempts int
+		)
+		start := time.Now()
+		deadline := start.Add(sw.duration)
+		var wg sync.WaitGroup
+		for w := 0; w < level; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					genMu.Lock()
+					seq++
+					spec, name := sw.gen.nextApp(seq)
+					genMu.Unlock()
+					t0 := time.Now()
+					status, err := post(client, sw.base+"/apps", spec)
+					lat.Observe(time.Since(t0).Seconds())
+					mu.Lock()
+					attempts++
+					switch {
+					case err != nil || status >= 500:
+						errs++
+					case status == http.StatusCreated:
+						admitted++
+						resident = append(resident, name)
+						if len(resident) > sw.keep {
+							oldest := resident[0]
+							resident = resident[1:]
+							mu.Unlock()
+							req, _ := http.NewRequest(http.MethodDelete, sw.base+"/apps/"+oldest, nil)
+							if resp, err := client.Do(req); err == nil {
+								resp.Body.Close()
+							}
+							continue
+						}
+					default:
+						rejected++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		rep.Client.Attempted = attempts
+		rep.Client.Admitted = admitted
+		rep.Client.Rejected = rejected
+		rep.Client.Errors = errs
+		rep.Client.AdmissionsPerSec = float64(admitted) / elapsed.Seconds()
+		rep.Client.Latency = histQuantiles(lat)
+		totalAdmitted += admitted
+		// Stage histograms are cumulative since server start; the final
+		// rung's snapshot covers the whole sweep.
+		if body, err := get(sw.base + "/debug/latency"); err == nil {
+			_ = json.Unmarshal(body, &rep.Server)
+		}
+		if sw.outFile != "" {
+			if err := appendLadder(sw.outFile, &rep); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "conc=%-4d %.1fs: %d attempted, %d admitted (%.2f/s), %d rejected, %d errors, p50=%.4fs p99=%.4fs\n",
+			level, elapsed.Seconds(), attempts, admitted, rep.Client.AdmissionsPerSec,
+			rejected, errs, rep.Client.Latency.P50, rep.Client.Latency.P99)
+	}
+	if totalAdmitted < sw.minAdmitted {
+		return fmt.Errorf("sweep admitted %d < required %d", totalAdmitted, sw.minAdmitted)
 	}
 	return nil
 }

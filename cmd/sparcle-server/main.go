@@ -98,6 +98,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	slo := fs.Duration("slo", 0, "root-span latency SLO; breaches dump the flight ring (0 = no SLO)")
 	flightDir := fs.String("flight-dir", "", "directory for flight dumps on SLO breach or handler panic")
 	runtimeMetrics := fs.Duration("runtime-metrics", 10*time.Second, "Go runtime sampling period for /metrics (0 = off)")
+	groupCommit := fs.Bool("group-commit", false, "coalesce concurrent admissions into group commits: one BE solve and one journal fsync per group")
+	groupMaxSize := fs.Int("group-max-size", 64, "max applications committed as one group (with -group-commit)")
+	groupMaxWait := fs.Duration("group-max-wait", 0, "how long a group leader holds the group open for followers (0 = commit immediately; concurrency alone forms groups)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +193,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		defer srv.Close()
 		fmt.Fprintf(out, "sparcle-server journal at %s (fsync=%s), recovered to seq %d\n",
 			*journalDir, policy, srv.Journal().LastSeq())
+	}
+	if *groupCommit {
+		// After EnableJournal: recovery rebuilds the scheduler/router and
+		// the committer must wrap the rebuilt instance.
+		srv.EnableGroupCommit(core.GroupOptions{MaxSize: *groupMaxSize, MaxWait: *groupMaxWait})
+		fmt.Fprintf(out, "sparcle-server group commit armed (max-size=%d, max-wait=%s)\n",
+			*groupMaxSize, *groupMaxWait)
 	}
 	if *submit {
 		apps, err := f.BuildApps(netw)

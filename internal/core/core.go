@@ -287,6 +287,17 @@ type Scheduler struct {
 	// batching defers best-effort re-allocation during SubmitBatch so a
 	// K-app batch reconciles the solver once.
 	batching bool
+
+	// Reused per-operation scratch (never part of durable state): the
+	// eq. (6) footprint slice built on every BE admission, and the
+	// liveness map plus new-flow slices the incremental solver
+	// reconciliation rebuilds on every solve. Pooling these takes the
+	// steady-churn allocation count down without changing behaviour —
+	// all three are fully overwritten before each use.
+	fpScratch      []alloc.Footprint
+	liveScratch    map[*PlacedApp]bool
+	newAppsScratch []*PlacedApp
+	newFlowScratch []alloc.Flow
 }
 
 // New returns a Scheduler over net.
@@ -406,6 +417,24 @@ func (s *Scheduler) GRApps() []*PlacedApp { return append([]*PlacedApp(nil), s.g
 
 // BEApps returns the admitted Best-Effort applications.
 func (s *Scheduler) BEApps() []*PlacedApp { return append([]*PlacedApp(nil), s.be...) }
+
+// HasApp reports whether an admitted application (either class) carries
+// the name. It is the allocation-free duplicate check the serving path
+// runs before admission; GRApps/BEApps copy their slices and are the
+// wrong tool on a hot path.
+func (s *Scheduler) HasApp(name string) bool {
+	for _, pa := range s.gr {
+		if pa.App.Name == name {
+			return true
+		}
+	}
+	for _, pa := range s.be {
+		if pa.App.Name == name {
+			return true
+		}
+	}
+	return false
+}
 
 // BEAvailableCapacities returns a copy of the capacities available to the
 // BE class (base minus GR reservations).
@@ -613,7 +642,8 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 	} else {
 		// Footprints only depend on an app's paths, which never change
 		// after admission, so they are computed once per app and cached.
-		footprints := make([]alloc.Footprint, 0, len(s.be))
+		// The slice itself is scratch: Predict does not retain it.
+		footprints := s.fpScratch[:0]
 		for _, pa := range s.be {
 			fp, ok := s.footprints[pa]
 			if !ok {
@@ -623,6 +653,7 @@ func (s *Scheduler) submitBE(app App) (*PlacedApp, error) {
 			footprints = append(footprints, fp)
 		}
 		predicted = alloc.Predict(s.beAvailable, footprints, app.QoS.Priority)
+		s.fpScratch = footprints[:0]
 	}
 	psp.End()
 
@@ -813,7 +844,13 @@ func (s *Scheduler) incrementalSolve() (alloc.Stats, error) {
 	// The pool pointer changes on GR admission and fluctuation rebuilds;
 	// in-place delta mutations need no notice (capacities are read lazily).
 	s.beSolver.SetCapacities(s.beAvailable)
-	current := make(map[*PlacedApp]bool, len(s.be))
+	current := s.liveScratch
+	if current == nil {
+		current = make(map[*PlacedApp]bool, len(s.be))
+		s.liveScratch = current
+	} else {
+		clear(current)
+	}
 	for _, pa := range s.be {
 		current[pa] = true
 	}
@@ -826,8 +863,8 @@ func (s *Scheduler) incrementalSolve() (alloc.Stats, error) {
 	// All missing apps' flows go in through one AddFlows call (ids come
 	// back in input order): a K-app batch admission reconciles the solver
 	// with exactly one insertion instead of K.
-	var newApps []*PlacedApp
-	var newFlows []alloc.Flow
+	newApps := s.newAppsScratch[:0]
+	newFlows := s.newFlowScratch[:0]
 	for _, pa := range s.be {
 		if _, ok := s.beFlowIDs[pa]; ok {
 			continue
@@ -841,6 +878,7 @@ func (s *Scheduler) incrementalSolve() (alloc.Stats, error) {
 	if len(newFlows) > 0 {
 		ids, err := s.beSolver.AddFlows(newFlows)
 		if err != nil {
+			s.newAppsScratch, s.newFlowScratch = newApps[:0], newFlows[:0]
 			return alloc.Stats{}, err
 		}
 		off := 0
@@ -850,6 +888,7 @@ func (s *Scheduler) incrementalSolve() (alloc.Stats, error) {
 			off += n
 		}
 	}
+	s.newAppsScratch, s.newFlowScratch = newApps[:0], newFlows[:0]
 	rates, stats, err := s.beSolver.Solve(s.beRates)
 	if err != nil {
 		return stats, err

@@ -6,10 +6,13 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"sparcle/internal/journal"
 	"sparcle/internal/network"
+	"sparcle/internal/obs"
 )
 
 // journaledRun drives a churn script against a scheduler whose commit
@@ -253,6 +256,135 @@ func TestCrashTailCorruptionAndDuplication(t *testing.T) {
 	mid[bounds[midFrame-1]+8+1] ^= 0xff
 	if _, err := recoverState(t, net, cloneJournalWith(t, dir, segName, mid)); err == nil {
 		t.Fatal("mid-file corruption recovered silently; acknowledged operations were dropped")
+	}
+}
+
+// TestCrashGroupCommit crashes inside and at the boundaries of
+// group-commit records. A group of K admissions is one journal frame, so
+// recovery must be all-or-none: a cut anywhere inside the frame (torn
+// header, torn payload) recovers the state with zero apps of that group
+// admitted, and a cut at the frame boundary recovers all K — never a
+// prefix of the group.
+func TestCrashGroupCommit(t *testing.T) {
+	net := batchMeshNet(t)
+	apps := batchApps(t, rand.New(rand.NewSource(377)), net, 12, true)
+
+	dir := t.TempDir()
+	j, err := journal.Open(dir, journal.Options{Fsync: journal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	s := New(net, WithRandSeed(1), WithCommitHook(func(rec *Record) error {
+		_, err := j.Append("op", rec)
+		return err
+	}))
+	states := []string{stateJSON(t, s)}
+	var sizes []int
+
+	// Gate the first leader inside its commit so every other submitter
+	// queues behind it; releasing the gate then forms real multi-app
+	// groups (MaxSize caps them at 8: group shapes 1, 8, 3).
+	gate := make(chan struct{})
+	first := true // commit functions run serially; no extra locking needed
+	gc := NewGroupCommitter(func(batch []App, lead *obs.Span) ([]BatchResult, error) {
+		if first {
+			first = false
+			<-gate
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		res, err := s.SubmitBatch(batch)
+		states = append(states, stateJSON(t, s))
+		sizes = append(sizes, len(batch))
+		return res, err
+	}, GroupOptions{MaxSize: 8})
+
+	var wg sync.WaitGroup
+	errc := make(chan error, len(apps))
+	for _, app := range apps {
+		wg.Add(1)
+		go func(a App) {
+			defer wg.Done()
+			_, err := gc.Submit(a, nil)
+			errc <- err
+		}(app)
+	}
+	for {
+		gc.mu.Lock()
+		n := len(gc.queue)
+		gc.mu.Unlock()
+		if n == len(apps)-1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatalf("grouped submit: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	total, multi := 0, 0
+	for _, k := range sizes {
+		total += k
+		if k > 1 {
+			multi++
+		}
+	}
+	if total != len(apps) || multi == 0 {
+		t.Fatalf("group sizes %v: want %d apps with at least one multi-app group", sizes, len(apps))
+	}
+
+	segName := tailSegment(t, dir)
+	seg, err := os.ReadFile(filepath.Join(dir, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := frameBounds(t, seg)
+	if len(bounds) != len(sizes) {
+		t.Fatalf("%d frames on disk for %d group commits: a group must be exactly one record", len(bounds), len(sizes))
+	}
+
+	complete := func(cut int) int {
+		n := 0
+		for _, b := range bounds {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	var cuts []int
+	prev := 0
+	for _, b := range bounds {
+		frameLen := b - prev
+		cuts = append(cuts, prev+1, prev+5, prev+frameLen/2, b)
+		prev = b
+	}
+	cuts = append(cuts, 0)
+	for _, cut := range cuts {
+		if cut > len(seg) {
+			continue
+		}
+		dst := cloneJournalWith(t, dir, segName, seg[:cut])
+		got, err := recoverState(t, net, dst)
+		if err != nil {
+			t.Fatalf("cut at %d: recovery failed: %v", cut, err)
+		}
+		if want := states[complete(cut)]; got != want {
+			t.Fatalf("cut at %d (%d complete groups of %v): recovery is not all-or-none",
+				cut, complete(cut), sizes)
+		}
 	}
 }
 

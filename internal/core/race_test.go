@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation pins that sync.Pool invalidates under
+// the race detector (it drops Put items randomly to widen schedules).
+const raceEnabled = true

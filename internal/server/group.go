@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+
+	"sparcle/internal/core"
+	"sparcle/internal/obs"
+)
+
+// Group-commit wiring for the HTTP front end. With group commit
+// enabled, POST /apps no longer takes the scheduler lock per request:
+// the handler decodes and builds the app off-lock, then hands it to the
+// GroupCommitter, which coalesces every submitter that arrives while a
+// commit is in flight into the next group — one lock acquisition, one
+// warm BE solve, and one journal append+fsync for the whole group.
+// POST /apps/batch composes: a client batch enters the queue as one
+// indivisible entry and merges with concurrent single submits.
+
+// EnableGroupCommit routes admissions through a group-commit queue.
+// Call it after EnableJournal: journal recovery rebuilds the scheduler
+// (or the sharded router), and the committer must wrap the rebuilt one.
+func (s *Server) EnableGroupCommit(opt core.GroupOptions) {
+	if opt.Metrics == nil {
+		opt.Metrics = s.metrics
+	}
+	if s.router != nil {
+		s.router.EnableGroupCommit(opt)
+		return
+	}
+	s.group = core.NewGroupCommitter(s.groupCommit, opt)
+}
+
+// groupCommit is the committer's commit function: it takes the
+// scheduler lock once for the whole group, rejects duplicate names
+// (against admitted apps and within the group — the per-request check
+// cannot run off-lock without racing), and runs the group through
+// SubmitBatch: one solve, one journal record.
+func (s *Server) groupCommit(apps []core.App, lead *obs.Span) ([]core.BatchResult, error) {
+	defer s.lockWithSpan(lead)()
+	results := make([]core.BatchResult, len(apps))
+	sub := make([]core.App, 0, len(apps))
+	idx := make([]int, 0, len(apps))
+	var seen map[string]bool
+	for i, app := range apps {
+		results[i].Name = app.Name
+		if s.sched.HasApp(app.Name) || seen[app.Name] {
+			results[i].Err = fmt.Errorf("application %q already admitted: %w", app.Name, core.ErrRejected)
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool, len(apps))
+		}
+		seen[app.Name] = true
+		sub = append(sub, app)
+		idx = append(idx, i)
+	}
+	res, err := s.sched.SubmitBatch(sub)
+	for j := range res {
+		results[idx[j]] = res[j]
+	}
+	return results, err
+}
+
+// groupStats returns the /healthz view of group-commit activity, nil
+// when the feature is disabled.
+func (s *Server) groupStats() *core.GroupStats {
+	if s.router != nil {
+		if !s.router.GroupEnabled() {
+			return nil
+		}
+		st := s.router.GroupStats()
+		return &st
+	}
+	if s.group == nil {
+		return nil
+	}
+	st := s.group.Stats()
+	return &st
+}

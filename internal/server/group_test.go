@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sparcle/internal/core"
+	"sparcle/internal/journal"
+)
+
+// groupedTestServer is testServer with the group-commit front end armed.
+func groupedTestServer(t *testing.T, opt core.GroupOptions) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := New(testNet(t))
+	srv.EnableGroupCommit(opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestGroupCommitHTTP drives concurrent POST /apps through the grouped
+// front end: every submit lands (201 with a real placement), duplicates
+// still 409, and /healthz reports the committer's activity.
+func TestGroupCommitHTTP(t *testing.T) {
+	ts, _ := groupedTestServer(t, core.GroupOptions{MaxSize: 8})
+
+	const n = 12
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := do(t, http.MethodPost, ts.URL+"/apps",
+				appJSON(fmt.Sprintf("g%d", i), "best-effort", `, "priority": 1`))
+			codes[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusCreated {
+				var v appView
+				if err := json.Unmarshal(body, &v); err != nil || v.TotalRate <= 0 {
+					t.Errorf("g%d: bad view %s (%v)", i, body, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusCreated {
+			t.Fatalf("g%d: status %d", i, c)
+		}
+	}
+
+	// Duplicate names are rejected from inside the group path too.
+	if resp, _ := do(t, http.MethodPost, ts.URL+"/apps", appJSON("g0", "best-effort", "")); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate through group path: %d, want 409", resp.StatusCode)
+	}
+
+	// A client batch composes with the group path.
+	batch := fmt.Sprintf(`{"apps": [%s, %s]}`,
+		appJSON("b0", "best-effort", `, "priority": 1`),
+		appJSON("b1", "best-effort", `, "priority": 1`))
+	resp, body := do(t, http.MethodPost, ts.URL+"/apps/batch", batch)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"admitted":true`) {
+		t.Fatalf("batch through group path: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var hz struct {
+		GroupCommit *core.GroupStats `json:"groupCommit"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	// n submits + 1 duplicate + one 2-app batch all went through groups.
+	if hz.GroupCommit == nil || hz.GroupCommit.Apps != n+1+2 || hz.GroupCommit.Groups == 0 {
+		t.Fatalf("healthz groupCommit = %+v, want %d apps through groups", hz.GroupCommit, n+3)
+	}
+	if hz.GroupCommit.MaxSize != 8 {
+		t.Fatalf("healthz groupCommit echoes maxSize %d, want 8", hz.GroupCommit.MaxSize)
+	}
+}
+
+// TestGroupCommitJournalReplay: grouped admissions are journaled as
+// batch records, and a restart recovers the exact same application set.
+func TestGroupCommitJournalReplay(t *testing.T) {
+	net := testNet(t)
+	dir := t.TempDir()
+	srv := New(net)
+	if err := srv.EnableJournal(dir, journal.Options{Fsync: journal.SyncAlways}, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.EnableGroupCommit(core.GroupOptions{MaxSize: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := do(t, http.MethodPost, ts.URL+"/apps",
+				appJSON(fmt.Sprintf("j%d", i), "best-effort", `, "priority": 1`))
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("j%d: %d %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	before := getApps(t, ts.URL)
+
+	// Crash-restart: a fresh server recovers from the grouped journal.
+	srv2 := New(net)
+	if err := srv2.EnableJournal(dir, journal.Options{Fsync: journal.SyncAlways}, 0); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	if after := getApps(t, ts2.URL); after != before {
+		t.Fatalf("recovered apps differ\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// TestGroupCommitSharded: with -shards, intra-region admissions route
+// through per-shard committers and /healthz sums their stats.
+func TestGroupCommitSharded(t *testing.T) {
+	srv, err := NewSharded(shardTestNet(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EnableGroupCommit(core.GroupOptions{MaxSize: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			from, to := "a0", "a1"
+			if i%2 == 1 {
+				from, to = "b0", "b1"
+			}
+			resp, body := do(t, http.MethodPost, ts.URL+"/apps",
+				shardAppJSON(fmt.Sprintf("s%d", i), from, to, shardBEQoS))
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("s%d: %d %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Cross-region admission stays on the ungrouped two-lock path but
+	// must still work with group commit armed.
+	resp, body := do(t, http.MethodPost, ts.URL+"/apps", shardAppJSON("x", "a0", "b1", shardBEQoS))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("cross-region with groups armed: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var hz struct {
+		GroupCommit *core.GroupStats `json:"groupCommit"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.GroupCommit == nil || hz.GroupCommit.Apps != 4 {
+		t.Fatalf("sharded healthz groupCommit = %+v, want 4 intra-region apps", hz.GroupCommit)
+	}
+}
+
+// TestDecodeStrictPooled pins the pooled request-decode path: repeated
+// decodes reuse the scratch buffer, keeping per-request allocations to
+// the decoder's own small constant rather than a fresh body buffer.
+func TestDecodeStrictPooled(t *testing.T) {
+	body := appJSON("alloc-pin", "best-effort", `, "priority": 1`)
+	var spec struct {
+		Name string          `json:"name"`
+		CTs  json.RawMessage `json:"cts"`
+		TTs  json.RawMessage `json:"tts"`
+		QoS  json.RawMessage `json:"qos"`
+	}
+	for i := 0; i < 10; i++ { // warm the pool
+		if err := decodeStrict(strings.NewReader(body), &spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := decodeStrict(strings.NewReader(body), &spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 24 {
+		t.Fatalf("decodeStrict allocates %v per request, want the pooled-buffer constant (<= 24)", allocs)
+	}
+}

@@ -22,6 +22,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,6 +65,10 @@ type Server struct {
 	recovering atomic.Bool
 	// spans is non-nil once EnableSpans armed request tracing (spans.go).
 	spans *obs.SpanTracer
+	// group is non-nil once EnableGroupCommit routed POST /apps through
+	// the group-commit queue (group.go). In shard mode it stays nil and
+	// the router carries one committer per shard instead.
+	group *core.GroupCommitter
 
 	// router is non-nil in shard mode (NewSharded): requests then route
 	// through the region-sharded admission router instead of sched, and
@@ -162,6 +167,9 @@ type healthzResponse struct {
 	// Sharding is present in shard mode: per-shard admissions, lease
 	// count and border-link occupancy.
 	Sharding *shard.Stats `json:"sharding,omitempty"`
+	// GroupCommit is present when -group-commit is enabled: groups
+	// committed, followers coalesced, apps admitted through the queue.
+	GroupCommit *core.GroupStats `json:"groupCommit,omitempty"`
 }
 
 // journalHealth is the durability section of /healthz: whether a
@@ -223,6 +231,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Journal:       jh,
 		Sharding:      sharding,
+		GroupCommit:   s.groupStats(),
 	})
 }
 
@@ -353,9 +362,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	defer root.End()
 	dsp := root.Child("http.decode")
 	var spec scenario.AppSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err := dec.Decode(&spec)
+	err := decodeStrict(r.Body, &spec)
 	dsp.End()
 	if err != nil {
 		root.SetAttr("outcome", "bad-request")
@@ -363,6 +370,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	root.SetAttr("app", spec.Name)
+	if s.group != nil {
+		// Group path: build off-lock, then join the commit queue. The
+		// committer's commit function takes the lock once per group and
+		// runs the duplicate-name check there.
+		bsp := root.Child("http.build")
+		app, err := scenario.BuildApp(spec, s.net)
+		bsp.End()
+		if err != nil {
+			root.SetAttr("outcome", "bad-request")
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		res, gerr := s.group.Submit(app, root)
+		if err := res.Err; err != nil || gerr != nil {
+			if err == nil {
+				err = gerr
+			}
+			status := http.StatusInternalServerError
+			if errors.Is(err, core.ErrRejected) {
+				status = http.StatusConflict
+			}
+			root.SetAttr("outcome", "rejected")
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		root.SetAttr("outcome", "admitted")
+		s.mu.Lock()
+		view := s.appView(res.App)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, view)
+		return
+	}
 	defer s.lockWithSpan(root)()
 	bsp := root.Child("http.build")
 	app, err := scenario.BuildApp(spec, s.net)
@@ -372,11 +411,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	for _, existing := range append(s.sched.GRApps(), s.sched.BEApps()...) {
-		if existing.App.Name == app.Name {
-			writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("application %q already admitted", app.Name)})
-			return
-		}
+	if s.sched.HasApp(app.Name) {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("application %q already admitted", app.Name)})
+		return
 	}
 	pa, err := s.sched.Submit(app)
 	if err != nil {
@@ -425,40 +462,53 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	defer root.End()
 	dsp := root.Child("http.decode")
 	var req batchRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err := dec.Decode(&req)
+	err := decodeStrict(r.Body, &req)
 	dsp.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
 		return
 	}
 	root.SetInt("apps", int64(len(req.Apps)))
-	defer s.lockWithSpan(root)()
 
-	taken := map[string]bool{}
-	for _, existing := range append(s.sched.GRApps(), s.sched.BEApps()...) {
-		taken[existing.App.Name] = true
-	}
 	verdicts := make([]batchVerdict, len(req.Apps))
 	var apps []core.App
 	var appIdx []int
-	for i, spec := range req.Apps {
-		verdicts[i].Name = spec.Name
-		app, err := scenario.BuildApp(spec, s.net)
-		switch {
-		case err != nil:
-			verdicts[i].Error = err.Error()
-		case taken[app.Name]:
-			verdicts[i].Error = fmt.Sprintf("application %q already admitted", app.Name)
-		default:
-			taken[app.Name] = true
+	var results []core.BatchResult
+	if s.group != nil {
+		// Group path: build off-lock and enter the commit queue as one
+		// indivisible entry; the commit function dedups names under the
+		// lock (against admitted apps and within the group).
+		for i, spec := range req.Apps {
+			verdicts[i].Name = spec.Name
+			app, berr := scenario.BuildApp(spec, s.net)
+			if berr != nil {
+				verdicts[i].Error = berr.Error()
+				continue
+			}
 			apps = append(apps, app)
 			appIdx = append(appIdx, i)
 		}
+		results, err = s.group.SubmitMany(apps, root)
+		defer s.lockWithSpan(root)() // appView below reads live placements
+	} else {
+		defer s.lockWithSpan(root)()
+		taken := map[string]bool{}
+		for i, spec := range req.Apps {
+			verdicts[i].Name = spec.Name
+			app, berr := scenario.BuildApp(spec, s.net)
+			switch {
+			case berr != nil:
+				verdicts[i].Error = berr.Error()
+			case taken[app.Name] || s.sched.HasApp(app.Name):
+				verdicts[i].Error = fmt.Sprintf("application %q already admitted", app.Name)
+			default:
+				taken[app.Name] = true
+				apps = append(apps, app)
+				appIdx = append(appIdx, i)
+			}
+		}
+		results, err = s.sched.SubmitBatch(apps)
 	}
-
-	results, err := s.sched.SubmitBatch(apps)
 	for j, res := range results {
 		v := &verdicts[appIdx[j]]
 		if res.Err != nil {
@@ -550,9 +600,7 @@ func (s *Server) handleFluctuation(w http.ResponseWriter, r *http.Request) {
 	defer root.End()
 	dsp := root.Child("http.decode")
 	var req fluctuationRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err := dec.Decode(&req)
+	err := decodeStrict(r.Body, &req)
 	dsp.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode fluctuation: %v", err)})
@@ -604,6 +652,27 @@ func (s *Server) parseElement(key string) (placement.Element, error) {
 	default:
 		return 0, fmt.Errorf("element key %q must start with ncp: or link:", key)
 	}
+}
+
+// decodeBufs pools request-body scratch: under load every admission
+// used to grow a fresh decoder buffer to body size; recycling the
+// buffer keeps request decode allocation flat regardless of body size.
+var decodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decodeStrict decodes one JSON value from body into v, rejecting
+// unknown fields, through a pooled read buffer.
+func decodeStrict(body io.Reader, v any) error {
+	buf := decodeBufs.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		decodeBufs.Put(buf)
+	}()
+	if _, err := buf.ReadFrom(body); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -158,9 +157,7 @@ func (s *Server) shardSubmit(w http.ResponseWriter, r *http.Request) {
 	defer root.End()
 	dsp := root.Child("http.decode")
 	var spec scenario.AppSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err := dec.Decode(&spec)
+	err := decodeStrict(r.Body, &spec)
 	dsp.End()
 	if err != nil {
 		root.SetAttr("outcome", "bad-request")
@@ -198,9 +195,7 @@ func (s *Server) shardSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	defer root.End()
 	dsp := root.Child("http.decode")
 	var req batchRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err := dec.Decode(&req)
+	err := decodeStrict(r.Body, &req)
 	dsp.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
@@ -296,9 +291,7 @@ func (s *Server) shardFluctuation(w http.ResponseWriter, r *http.Request) {
 	defer root.End()
 	dsp := root.Child("http.decode")
 	var req fluctuationRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err := dec.Decode(&req)
+	err := decodeStrict(r.Body, &req)
 	dsp.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode fluctuation: %v", err)})

@@ -47,6 +47,10 @@ type slot struct {
 	mu     sync.Mutex
 	region *Region
 	ctl    core.Control
+	// group, when set (EnableGroupCommit), coalesces this shard's
+	// intra-region submits into group commits; its commit closure takes
+	// mu once per group.
+	group *core.GroupCommitter
 	// cross names the logical cross-region app currently operating on
 	// this shard (set under mu); the commit wrapper tags the shard's
 	// records with it.
@@ -230,9 +234,20 @@ func (r *Router) submitIntra(app core.App, shard int, sp *obs.Span, register boo
 		}
 		return nil, err
 	}
-	s.lock(sp)
-	pa, err := s.ctl.Submit(local)
-	s.mu.Unlock()
+	var pa *core.PlacedApp
+	if s.group != nil {
+		// Group path: park with the shard's committer; the leader takes
+		// the shard lock once for everyone it drains.
+		res, gerr := s.group.Submit(local, sp)
+		pa, err = res.App, res.Err
+		if err == nil {
+			err = gerr
+		}
+	} else {
+		s.lock(sp)
+		pa, err = s.ctl.Submit(local)
+		s.mu.Unlock()
+	}
 	if err != nil {
 		if register {
 			r.unclaim(app.Name)
@@ -444,6 +459,9 @@ func (r *Router) admitCross(app core.App, a, b int, sp *obs.Span) (*Result, *cro
 func (r *Router) SubmitBatch(apps []core.App, sp *obs.Span) ([]core.BatchResult, error) {
 	if len(r.slots) == 1 {
 		s := r.slots[0]
+		if s.group != nil {
+			return s.group.SubmitMany(apps, sp)
+		}
 		s.lock(sp)
 		defer s.mu.Unlock()
 		return s.ctl.SubmitBatch(apps)
@@ -507,9 +525,17 @@ func (r *Router) SubmitBatch(apps []core.App, sp *obs.Span) ([]core.BatchResult,
 			continue
 		}
 		s := r.slots[shard]
-		s.lock(sp)
-		res, err := s.ctl.SubmitBatch(sub)
-		s.mu.Unlock()
+		var res []core.BatchResult
+		var err error
+		if s.group != nil {
+			// The shard's sub-batch enters its committer as one entry, so
+			// it stays atomic while merging with concurrent single submits.
+			res, err = s.group.SubmitMany(sub, sp)
+		} else {
+			s.lock(sp)
+			res, err = s.ctl.SubmitBatch(sub)
+			s.mu.Unlock()
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}

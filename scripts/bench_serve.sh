@@ -11,6 +11,18 @@
 #      saturation point; admissions/sec is now server-bound.
 #   4. mesh16, shards=4, rate=2000         — the same overload against
 #      four region shards; admissions/sec should clearly beat run 3.
+#   5. mesh16, group commit, rate=2000     — the same overload through
+#      the group-commit front end on a single lock: concurrent submits
+#      coalesce into shared batch solves, so admissions/sec should beat
+#      run 3 and the alloc.solve stage count runs below one per
+#      admission.
+#   6. mesh16, journal + group commit, rate=2000 — run 5 over a
+#      fsync-per-commit write-ahead journal; the journal.fsync stage
+#      count amortizes below one per admission (one fsync per group).
+#
+# A closed-loop contention sweep (sparcle-load -concurrency 1,8,64,256)
+# then runs against the grouped server, appending one labelled rung per
+# in-flight level.
 #
 # Usage: scripts/bench_serve.sh [outfile]   (default: BENCH_serve.json)
 set -euo pipefail
@@ -55,13 +67,42 @@ run "cloud-field single rate=100" "$work/cloud-field.json" 100
 run "mesh16 shards=4 rate=100"    testdata/mesh16.json     100  -shards 4
 run "mesh16 single rate=2000"     testdata/mesh16.json     2000
 run "mesh16 shards=4 rate=2000"   testdata/mesh16.json     2000 -shards 4
+run "mesh16 group rate=2000"      testdata/mesh16.json     2000 -group-commit
+run "mesh16 journal+group rate=2000" testdata/mesh16.json  2000 -journal "$work/journal" -group-commit
+
+# Closed-loop contention sweep against a grouped server: the in-flight
+# count is the controlled variable, one rung per level.
+"$work/sparcle-server" -f testdata/mesh16.json -addr 127.0.0.1:0 -spans -group-commit \
+    > "$work/server.log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^sparcle-server listening on \([^ ]*\).*/\1/p' "$work/server.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$work/server.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never became ready:"; cat "$work/server.log"; exit 1; }
+echo "== mesh16 group contention sweep"
+"$work/sparcle-load" -addr "$addr" -concurrency "${SWEEP:-1,8,64,256}" \
+    -duration "${SWEEP_DURATION:-5s}" -seed "$seed" -keep 16 \
+    -out "$out" -label "mesh16 group"
+kill "$pid"
+wait "$pid" 2>/dev/null || true
 
 python3 - "$out" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 for e in doc["ladder"]:
     c, cl = e["config"], e["client"]
+    st = e["server"].get("stages") or {}
+    extra = ""
+    if cl["admitted"] and "alloc.solve" in st:
+        extra = f' solves/adm={st["alloc.solve"]["count"]/cl["admitted"]:.2f}'
+        if "journal.fsync" in st:
+            extra += f' fsyncs/adm={st["journal.fsync"]["count"]/cl["admitted"]:.2f}'
     print(f'{c.get("label", "?"):34s} shards={c.get("shards", 1)} '
           f'admitted={cl["admitted"]:5d} ({cl["admissionsPerSec"]:7.2f}/s) '
-          f'rejected={cl["rejected"]} dropped={cl["dropped"]}')
+          f'rejected={cl["rejected"]} dropped={cl["dropped"]}'
+          f' p99={cl["latencySeconds"]["p99"]:.4f}s{extra}')
 EOF

@@ -6,7 +6,10 @@
 # BENCH_serve.json report carrying per-stage latency quantiles. A second
 # pass reboots the server region-sharded (-shards 4) and appends a
 # labelled ladder entry to the same report, so the sharded admission
-# path gets the same black-box treatment as the single-lock one.
+# path gets the same black-box treatment as the single-lock one. A third
+# pass reboots with -group-commit over a write-ahead journal and drives
+# the closed-loop -concurrency sweep, asserting /healthz reports real
+# group-commit activity.
 set -euo pipefail
 
 rate=${RATE:-100}
@@ -102,5 +105,42 @@ for stage in ("http.submit", "core.submit", "lock.wait"):
     assert stage in names, f"stage {stage} missing from sharded trace: {sorted(names)}"
 print(f"sharded trace ok: {len(events)} events, {len(names)} distinct stages")
 EOF
+
+echo "== grouped pass: boot with -group-commit over a journal"
+"$work/sparcle-server" -f "$work/scenario.json" -addr 127.0.0.1:0 \
+    -spans -journal "$work/journal" -group-commit \
+    > "$work/server-group.log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^sparcle-server listening on \([^ ]*\).*/\1/p' "$work/server-group.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "grouped server died:"; cat "$work/server-group.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "grouped server never became ready:"; cat "$work/server-group.log"; exit 1; }
+grep -q 'group commit armed' "$work/server-group.log"
+
+echo "== closed-loop contention sweep against the grouped server"
+"$work/sparcle-load" -addr "$addr" -concurrency 1,8 -duration "$duration" \
+    -keep 16 -out "$work/BENCH_serve.json" -label "group-commit" \
+    -min-admitted "$min_admitted"
+
+echo "== group-commit activity visible on /healthz"
+python3 - "$addr" "$work/BENCH_serve.json" <<'EOF'
+import json, sys, urllib.request
+hz = json.load(urllib.request.urlopen(f"http://{sys.argv[1]}/healthz"))
+gc = hz.get("groupCommit")
+assert gc and gc["groups"] > 0 and gc["apps"] >= gc["groups"], f"no group activity: {gc}"
+doc = json.load(open(sys.argv[2]))
+ladder = doc["ladder"]
+assert len(ladder) == 4, f"want 4 ladder entries (2 open-loop + 2 sweep), got {len(ladder)}"
+sweep = [e for e in ladder if e["config"].get("concurrency")]
+assert [e["config"]["concurrency"] for e in sweep] == [1, 8], sweep
+assert all(e["client"]["admitted"] > 0 for e in sweep), "sweep admitted nothing"
+print(f"group commit ok: {gc['groups']} groups, {gc['apps']} apps, {gc['follows']} follows")
+EOF
+kill "$pid"
+wait "$pid" 2>/dev/null || true
 
 echo "PASS: load smoke complete"
