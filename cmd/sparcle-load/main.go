@@ -21,6 +21,13 @@
 // stage attribution. -min-admitted and -check-flight turn the run into a
 // self-validating smoke test for CI.
 //
+// Against a replicated cluster (sparcle-server -replicate), mutating
+// requests retry transient faults with jittered exponential backoff —
+// 503s while an election settles, refused connections while a node
+// restarts — and follow a follower's 421 redirect to the leader, so a
+// leader failover mid-run costs a latency blip instead of an error
+// burst.
+//
 // With -append, the report is appended to a {"ladder": [...]} document
 // in -out instead of overwriting it (an existing single report becomes
 // the ladder's first entry), and -label names the entry — this is how
@@ -40,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -208,6 +216,7 @@ func run(args []string, out io.Writer) error {
 		admitted, rejected, errs, dropped int
 	)
 	client := &http.Client{Timeout: 30 * time.Second}
+	tgt := newTarget(base)
 	sem := make(chan struct{}, *maxInflight)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -236,7 +245,7 @@ func run(args []string, out io.Writer) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			status, err := post(client, base+"/apps", spec)
+			status, err := post(client, tgt, "/apps", spec)
 			// Latency from the *scheduled* arrival, so local queueing
 			// (inflight contention) is charged to the system under test.
 			lat.Observe(time.Since(scheduled).Seconds())
@@ -252,10 +261,7 @@ func run(args []string, out io.Writer) error {
 					oldest := resident[0]
 					resident = resident[1:]
 					go func() {
-						req, _ := http.NewRequest(http.MethodDelete, base+"/apps/"+oldest, nil)
-						if resp, err := client.Do(req); err == nil {
-							resp.Body.Close()
-						}
+						do(client, tgt, http.MethodDelete, "/apps/"+oldest, nil)
 					}()
 				}
 			default:
@@ -342,6 +348,7 @@ func parseLevels(s string) ([]int, error) {
 // level appends one ladder entry to -out labeled with the level.
 func runSweep(sw sweepConfig, out io.Writer) error {
 	client := &http.Client{Timeout: 30 * time.Second}
+	tgt := newTarget(sw.base)
 	var (
 		genMu sync.Mutex // generator RNG is not goroutine-safe
 		seq   int        // unique app names across all levels
@@ -374,7 +381,7 @@ func runSweep(sw sweepConfig, out io.Writer) error {
 					spec, name := sw.gen.nextApp(seq)
 					genMu.Unlock()
 					t0 := time.Now()
-					status, err := post(client, sw.base+"/apps", spec)
+					status, err := post(client, tgt, "/apps", spec)
 					lat.Observe(time.Since(t0).Seconds())
 					mu.Lock()
 					attempts++
@@ -388,10 +395,7 @@ func runSweep(sw sweepConfig, out io.Writer) error {
 							oldest := resident[0]
 							resident = resident[1:]
 							mu.Unlock()
-							req, _ := http.NewRequest(http.MethodDelete, sw.base+"/apps/"+oldest, nil)
-							if resp, err := client.Do(req); err == nil {
-								resp.Body.Close()
-							}
+							do(client, tgt, http.MethodDelete, "/apps/"+oldest, nil)
 							continue
 						}
 					default:
@@ -644,12 +648,91 @@ func get(url string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func post(client *http.Client, url string, body []byte) (int, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
+// target is the base URL mutating requests go to. Against a replicated
+// cluster it follows 421 leader redirects, so after one redirect every
+// worker goes straight to the leader instead of paying a bounce per
+// request.
+type target struct {
+	mu   sync.Mutex
+	base string
+}
+
+func newTarget(base string) *target { return &target{base: base} }
+
+func (t *target) get() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.base
+}
+
+func (t *target) set(base string) {
+	t.mu.Lock()
+	t.base = base
+	t.mu.Unlock()
+}
+
+const (
+	// maxAttempts bounds each request: transient faults (503, refused
+	// connections, leader redirects) are retried, anything else returns
+	// immediately.
+	maxAttempts = 5
+	// baseBackoff is the first retry delay; it doubles per attempt with
+	// full jitter so synchronized workers fan back out.
+	baseBackoff = 50 * time.Millisecond
+)
+
+// post sends body to path on the target with bounded retries: 503s and
+// connection errors back off and retry (a replicated cluster answers 503
+// while an election settles), and a 421 re-points the target at the
+// leader named in the response before retrying. The final status (or the
+// last connection error) is returned after at most maxAttempts tries.
+func post(client *http.Client, tgt *target, path string, body []byte) (int, error) {
+	return do(client, tgt, http.MethodPost, path, body)
+}
+
+func do(client *http.Client, tgt *target, method, path string, body []byte) (int, error) {
+	backoff := baseBackoff
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter: anywhere in (0, backoff], then double.
+			time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + time.Millisecond)
+			backoff *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, tgt.get()+path, rd)
+		if err != nil {
+			return 0, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			// Connection refused/reset: the node may be mid-restart or
+			// mid-failover; retry after backoff.
+			lastErr = err
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusMisdirectedRequest:
+			var redir struct {
+				URL string `json:"leaderUrl"`
+			}
+			if json.Unmarshal(data, &redir) == nil && redir.URL != "" {
+				tgt.set(strings.TrimSuffix(redir.URL, "/"))
+			}
+			lastErr = fmt.Errorf("%s %s: redirected off a follower", method, path)
+		case http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("%s %s: 503 service unavailable", method, path)
+		default:
+			return resp.StatusCode, nil
+		}
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode, nil
+	return 0, lastErr
 }

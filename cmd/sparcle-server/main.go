@@ -20,7 +20,13 @@
 // -journal, every mutating operation is committed to a write-ahead
 // journal in the given directory before it is acknowledged, and a restart
 // recovers the exact pre-crash scheduler from snapshot + replay (see
-// docs/durability.md). With -spans (implied by any -spans-* flag), every
+// docs/durability.md). With -replicate ID -peers "a=url,b=url,c=url"
+// (requires -journal), the node joins a replicated cluster: the leader
+// streams journal records to its followers and acks a write only after
+// a quorum holds it, followers keep a hot scheduler by applying the
+// committed stream continuously, and a write sent to a follower answers
+// 421 with a Location header pointing at the leader (see
+// docs/replication.md). With -spans (implied by any -spans-* flag), every
 // admission-path stage is timed as a hierarchical span: -spans-chrome
 // streams a Perfetto-loadable trace, -spans-jsonl streams raw records,
 // and the in-memory flight recorder serves GET /debug/flight and dumps to
@@ -56,6 +62,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +78,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sparcle-server:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers decodes the -peers flag: comma-separated id=url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, errors.New("-replicate requires -peers (id=url,id=url,...)")
+	}
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q: want id=url", pair)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers node ID %q", id)
+		}
+		peers[id] = strings.TrimSuffix(url, "/")
+	}
+	return peers, nil
 }
 
 // run starts the server; if ready is non-nil the bound address is sent on
@@ -101,11 +127,28 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	groupCommit := fs.Bool("group-commit", false, "coalesce concurrent admissions into group commits: one BE solve and one journal fsync per group")
 	groupMaxSize := fs.Int("group-max-size", 64, "max applications committed as one group (with -group-commit)")
 	groupMaxWait := fs.Duration("group-max-wait", 0, "how long a group leader holds the group open for followers (0 = commit immediately; concurrency alone forms groups)")
+	replicate := fs.String("replicate", "", "node ID: run as one member of a replicated cluster (requires -journal and -peers)")
+	peersFlag := fs.String("peers", "", "comma-separated id=url pairs naming every cluster node, this one included (with -replicate)")
+	replHeartbeat := fs.Duration("repl-heartbeat", 100*time.Millisecond, "leader heartbeat period (with -replicate)")
+	replElection := fs.Duration("repl-election-timeout", 0, "follower election timeout (0 = 10x heartbeat; with -replicate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *file == "" {
 		return errors.New("missing -f scenario file")
+	}
+	var peers map[string]string
+	if *replicate != "" {
+		if *journalDir == "" {
+			return errors.New("-replicate requires -journal")
+		}
+		var err error
+		if peers, err = parsePeers(*peersFlag); err != nil {
+			return err
+		}
+		if _, ok := peers[*replicate]; !ok {
+			return fmt.Errorf("-peers must include this node's ID %q", *replicate)
+		}
 	}
 	data, err := os.ReadFile(*file)
 	if err != nil {
@@ -184,15 +227,31 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		if err != nil {
 			return err
 		}
-		if err := srv.EnableJournal(*journalDir, journal.Options{
-			Fsync:         policy,
-			FsyncInterval: *journalFsyncInterval,
-		}, *snapshotEvery); err != nil {
-			return err
+		jopt := journal.Options{Fsync: policy, FsyncInterval: *journalFsyncInterval}
+		if *replicate != "" {
+			if err := srv.EnableReplication(server.ReplicationConfig{
+				NodeID:          *replicate,
+				Peers:           peers,
+				Dir:             *journalDir,
+				Journal:         jopt,
+				SnapshotEvery:   *snapshotEvery,
+				Heartbeat:       *replHeartbeat,
+				ElectionTimeout: *replElection,
+				Seed:            *seed,
+			}); err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "sparcle-server replicating as %q with %d peers, journal at %s (fsync=%s), recovered to seq %d\n",
+				*replicate, len(peers)-1, *journalDir, policy, srv.Journal().LastSeq())
+		} else {
+			if err := srv.EnableJournal(*journalDir, jopt, *snapshotEvery); err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "sparcle-server journal at %s (fsync=%s), recovered to seq %d\n",
+				*journalDir, policy, srv.Journal().LastSeq())
 		}
-		defer srv.Close()
-		fmt.Fprintf(out, "sparcle-server journal at %s (fsync=%s), recovered to seq %d\n",
-			*journalDir, policy, srv.Journal().LastSeq())
 	}
 	if *groupCommit {
 		// After EnableJournal: recovery rebuilds the scheduler/router and

@@ -435,6 +435,21 @@ func (s *Scheduler) restoreSnapshot(snap *Snapshot) error {
 	return nil
 }
 
+// ApplyCommitted applies one committed replicated record to a live
+// scheduler, keeping a replication follower hot: the same structural
+// replay as Rebuild, one record at a time, with the app-level metric
+// gauges kept in sync so a follower's /metrics mirrors what it would
+// serve after promotion. The caller provides external serialization
+// (the replica apply loop is single-threaded and the server wraps this
+// in its scheduler lock).
+func (s *Scheduler) ApplyCommitted(rec *Record) error {
+	if err := s.applyRecord(rec); err != nil {
+		return err
+	}
+	s.syncAppMetrics()
+	return nil
+}
+
 // applyRecord structurally applies one journaled operation: the same
 // splice/subtract/add-back arithmetic as the live path, rates set
 // verbatim, no solver or assignment re-execution.

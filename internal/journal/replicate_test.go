@@ -1,0 +1,216 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTruncateToDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	j := openEmpty(t, dir, Options{})
+	for i := 1; i <= 6; i++ {
+		if _, err := j.Append("op", testOp{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.TruncateTo(3); err != nil {
+		t.Fatalf("TruncateTo: %v", err)
+	}
+	if j.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d after truncate, want 3", j.LastSeq())
+	}
+	// Appends continue past the cut, and a reopen sees exactly the
+	// surviving prefix plus the new record.
+	if seq, err := j.Append("op", testOp{N: 40}); err != nil || seq != 4 {
+		t.Fatalf("append after truncate = %d, %v", seq, err)
+	}
+	j.Close()
+
+	j2, _ := Open(dir, Options{})
+	defer j2.Close()
+	_, recs, err := j2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(recs) != 4 || recs[3].Seq != 4 {
+		t.Fatalf("recovered %d records (last %+v), want seqs 1..4", len(recs), recs[len(recs)-1])
+	}
+	var op testOp
+	json.Unmarshal(recs[3].Data, &op)
+	if op.N != 40 {
+		t.Fatalf("record 4 = %+v, want the post-truncate append", op)
+	}
+}
+
+func TestTruncateToSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	j := openEmpty(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	if err := j.WriteSnapshot(map[string]int{"upto": 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i <= 6; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	// Cut inside the post-snapshot segment: record 4 survives, 5 and 6 go.
+	if err := j.TruncateTo(4); err != nil {
+		t.Fatalf("TruncateTo: %v", err)
+	}
+	j.Close()
+
+	j2, _ := Open(dir, Options{})
+	defer j2.Close()
+	snap, recs, err := j2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("snapshot lost by truncate")
+	}
+	if len(recs) != 1 || recs[0].Seq != 4 {
+		t.Fatalf("tail = %+v, want exactly seq 4", recs)
+	}
+}
+
+func TestTruncateBelowSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	j := openEmpty(t, dir, Options{})
+	defer j.Close()
+	for i := 1; i <= 3; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	if err := j.WriteSnapshot(map[string]int{"upto": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.TruncateTo(2); err == nil {
+		t.Fatal("TruncateTo below the snapshot succeeded")
+	}
+	if err := j.TruncateTo(3); err != nil {
+		t.Fatalf("TruncateTo at the snapshot boundary: %v", err)
+	}
+}
+
+func TestInstallSnapshotResetsJournal(t *testing.T) {
+	dir := t.TempDir()
+	j := openEmpty(t, dir, Options{})
+	for i := 1; i <= 4; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	if err := j.WriteSnapshot(map[string]int{"old": 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i <= 7; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	// Install a leader snapshot far past the local log.
+	if err := j.InstallSnapshot(100, map[string]int{"installed": 1}); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if j.LastSeq() != 100 || j.SnapshotSeq() != 100 || j.SinceSnapshot() != 0 {
+		t.Fatalf("after install: seq=%d snap=%d since=%d", j.LastSeq(), j.SnapshotSeq(), j.SinceSnapshot())
+	}
+	if seq, err := j.Append("op", testOp{N: 101}); err != nil || seq != 101 {
+		t.Fatalf("append after install = %d, %v", seq, err)
+	}
+	j.Close()
+
+	// Exactly one snapshot and one segment remain on disk: the divergent
+	// history must be gone, not just shadowed.
+	entries, _ := os.ReadDir(dir)
+	var snaps, segs int
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), "snap-"):
+			snaps++
+		case strings.HasPrefix(e.Name(), "wal-"):
+			segs++
+		}
+	}
+	if snaps != 1 || segs != 1 {
+		t.Fatalf("after install: %d snapshots, %d segments on disk, want 1 and 1", snaps, segs)
+	}
+
+	j2, _ := Open(dir, Options{})
+	defer j2.Close()
+	snap, recs, err := j2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	var s map[string]int
+	if err := json.Unmarshal(snap, &s); err != nil || s["installed"] != 1 {
+		t.Fatalf("recovered snapshot %s, want the installed one", snap)
+	}
+	if len(recs) != 1 || recs[0].Seq != 101 {
+		t.Fatalf("tail = %+v, want the post-install append at 101", recs)
+	}
+}
+
+// TestTornTailAfterSegmentPrune pins recovery behaviour when the torn
+// tail sits in segment N and segment N−1 no longer exists (pruned by an
+// earlier snapshot): the damage is still recognized as tail-only and
+// truncated, never escalated to a whole-log rejection.
+func TestTornTailAfterSegmentPrune(t *testing.T) {
+	dir := t.TempDir()
+	j := openEmpty(t, dir, Options{})
+	// Two snapshot generations so pruning actually removes the first
+	// segment (a segment dies when its successor starts at or before the
+	// previous snapshot generation's boundary).
+	for i := 1; i <= 3; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	if err := j.WriteSnapshot(map[string]int{"gen": 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i <= 6; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	if err := j.WriteSnapshot(map[string]int{"gen": 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 7; i <= 9; i++ {
+		j.Append("op", testOp{N: i})
+	}
+	j.Close()
+
+	entries, _ := os.ReadDir(dir)
+	segs := listSegments(entries)
+	if len(segs) != 2 {
+		t.Fatalf("expected first segment pruned, have %v", segs)
+	}
+	if segs[0].start != 4 {
+		t.Fatalf("oldest surviving segment starts at %d, want 4 (segment 1 pruned)", segs[0].start)
+	}
+	// Tear the physical tail of the newest segment: half of record 9's
+	// frame is gone.
+	tail := filepath.Join(dir, segs[1].name)
+	data, err := os.ReadFile(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tail, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, _ := Open(dir, Options{})
+	defer j2.Close()
+	snap, recs, err := j2.Recover()
+	if err != nil {
+		t.Fatalf("Recover after prune-boundary torn tail: %v", err)
+	}
+	var s map[string]int
+	if err := json.Unmarshal(snap, &s); err != nil || s["gen"] != 1 {
+		t.Fatalf("recovered snapshot %s, want gen 1", snap)
+	}
+	if len(recs) != 2 || recs[0].Seq != 7 || recs[1].Seq != 8 {
+		t.Fatalf("tail = %+v, want seqs 7,8 with 9 truncated", recs)
+	}
+	// The journal is armed: the next append takes the torn record's slot.
+	if seq, err := j2.Append("op", testOp{N: 90}); err != nil || seq != 9 {
+		t.Fatalf("append after repair = %d, %v", seq, err)
+	}
+}

@@ -1,0 +1,50 @@
+package replica
+
+// Metric names exported on /metrics. Role is encoded as the Role enum
+// value (0 follower, 1 candidate, 2 leader) so a single gauge tracks
+// transitions.
+const (
+	metricRole         = "sparcle_repl_role"
+	metricTerm         = "sparcle_repl_term"
+	metricCommitIndex  = "sparcle_repl_commit_index"
+	metricQuorumAcks   = "sparcle_repl_quorum_acks_total"
+	metricCatchupSnaps = "sparcle_repl_catchup_snapshots_total"
+)
+
+func (n *Node) registerMetrics() {
+	reg := n.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.SetHelp(metricRole, "Replication role of this node (0 follower, 1 candidate, 2 leader).")
+	reg.SetHelp(metricTerm, "Current replication term.")
+	reg.SetHelp(metricCommitIndex, "Highest quorum-committed journal sequence number.")
+	reg.SetHelp(metricQuorumAcks, "Proposals acknowledged after reaching quorum on this leader.")
+	reg.SetHelp(metricCatchupSnaps, "Snapshot installs accepted from a leader to catch this node up.")
+	reg.Counter(metricQuorumAcks)
+	reg.Counter(metricCatchupSnaps)
+}
+
+// observeStateLocked mirrors role/term/commit-index into gauges. Nil-safe
+// and allocation-free when metrics are off.
+func (n *Node) observeStateLocked() {
+	reg := n.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Gauge(metricRole).Set(float64(n.role))
+	reg.Gauge(metricTerm).Set(float64(n.term))
+	reg.Gauge(metricCommitIndex).Set(float64(n.commitIndex))
+}
+
+func (n *Node) countQuorumAck() {
+	if reg := n.cfg.Metrics; reg != nil {
+		reg.Counter(metricQuorumAcks).Inc()
+	}
+}
+
+func (n *Node) countCatchupSnapshot() {
+	if reg := n.cfg.Metrics; reg != nil {
+		reg.Counter(metricCatchupSnaps).Inc()
+	}
+}

@@ -1,0 +1,108 @@
+package replica
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Propose appends data as the next log entry and blocks until a quorum
+// holds it on stable storage (at which point it is committed and will
+// survive any single-node loss). The caller — the scheduler's commit
+// hook — has already applied the operation to the local state machine,
+// so Propose records that fact by advancing lastApplied itself.
+//
+// Errors: *NotLeaderError on a follower/candidate (redirect), ErrNotReady
+// before the term barrier commits (retry), ErrNoQuorum when the cluster
+// cannot acknowledge in time, ErrStopped after Stop.
+func (n *Node) Propose(data []byte) error {
+	n.proposeMu.Lock()
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		n.proposeMu.Unlock()
+		return ErrStopped
+	}
+	if n.role != Leader {
+		err := &NotLeaderError{LeaderID: n.leaderID}
+		n.mu.Unlock()
+		n.proposeMu.Unlock()
+		return err
+	}
+	if !n.ready {
+		n.mu.Unlock()
+		n.proposeMu.Unlock()
+		return ErrNotReady
+	}
+	term := n.term
+	prev := n.lastSeqLocked()
+	prevTerm, _ := n.termAtLocked(prev)
+	e := Entry{Seq: prev + 1, Term: term, Data: json.RawMessage(data)}
+	if err := n.appendEntryLocked(e); err != nil {
+		// The local journal refused the entry. The scheduler already
+		// holds the op in memory; surfacing the error fails the request
+		// with ErrDurability upstream and the durability contract (treat
+		// the node as failed, restart to heal) applies.
+		n.mu.Unlock()
+		n.proposeMu.Unlock()
+		return err
+	}
+	n.lastApplied = e.Seq // the caller applied this op before proposing
+	w := &commitWaiter{seq: e.Seq, term: term, c: make(chan error, 1)}
+	n.waiters = append(n.waiters, w)
+	n.advanceCommitLocked() // self-count (completes the waiter at quorum 1)
+	req := &AppendRequest{
+		Term:         term,
+		LeaderID:     n.cfg.ID,
+		PrevSeq:      prev,
+		PrevTerm:     prevTerm,
+		Entries:      []Entry{e},
+		LeaderCommit: n.commitIndex,
+	}
+	peers := make(map[string]Transport, len(n.cfg.Peers))
+	for id, tr := range n.cfg.Peers {
+		peers[id] = tr
+	}
+	n.mu.Unlock()
+	n.proposeMu.Unlock()
+
+	for id, tr := range peers {
+		go n.sendAppend(id, tr, req, term)
+	}
+
+	t := time.NewTimer(n.cfg.ProposeTimeout)
+	defer t.Stop()
+	select {
+	case err := <-w.c:
+		if err == nil {
+			n.countQuorumAck()
+			n.maybeSnapshot()
+		}
+		return err
+	case <-t.C:
+		n.removeWaiter(w)
+		// Drain a completion that raced the timeout.
+		select {
+		case err := <-w.c:
+			if err == nil {
+				n.countQuorumAck()
+			}
+			return err
+		default:
+		}
+		return ErrNoQuorum
+	case <-n.stopc:
+		n.removeWaiter(w)
+		return ErrStopped
+	}
+}
+
+func (n *Node) removeWaiter(w *commitWaiter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, x := range n.waiters {
+		if x == w {
+			n.waiters = append(n.waiters[:i], n.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,627 @@
+// Package replica turns the single-node write-ahead journal into a
+// 3-node replicated control plane: a leader streams journal records to
+// followers and acknowledges the client only after a quorum (2 of 3) has
+// them on stable storage, followers keep a hot state machine by applying
+// committed records continuously, and a heartbeat-leased election with
+// term-numbered records promotes a follower on leader loss — failover
+// resumes from the last committed record instead of cold-replaying.
+//
+// The replicated log IS the journal: each log entry is one journal
+// record of type "repl" whose journal sequence number is its log index,
+// and the journal's existing atomic-snapshot machinery doubles as the
+// snapshot-catch-up transport for lagging or freshly joined followers.
+// The protocol is a deliberately small Raft subset — single-entry
+// AppendEntries on the propose hot path, hint-based catch-up streaming,
+// one-shot snapshot installs, and a no-op barrier entry per new term so
+// a leader only acknowledges once its term can commit — sized for a
+// fixed 3-node control plane rather than a general consensus library.
+// See docs/replication.md for the protocol walk-through and the failure
+// matrix.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparcle/internal/journal"
+	"sparcle/internal/obs"
+)
+
+// Role is a node's position in the current term.
+type Role int32
+
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+// String returns the /healthz spelling of the role.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("Role(%d)", int32(r))
+	}
+}
+
+// recordType tags replicated entries in the journal.
+const recordType = "repl"
+
+// metaFile persists the vote state (term, votedFor) that must survive a
+// crash: voting twice in one term would let two leaders win it.
+const metaFile = "repl-meta.json"
+
+// Entry is one replicated log entry. Seq is both the journal sequence
+// number and the log index; Term is the leadership term that created the
+// entry. A Nop entry is the barrier a new leader commits to prove its
+// term before acknowledging proposals; it never reaches the state
+// machine.
+type Entry struct {
+	Seq  uint64          `json:"seq"`
+	Term uint64          `json:"term"`
+	Nop  bool            `json:"nop,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// snapPayload wraps a state-machine snapshot with the term of the last
+// entry it covers, so log-matching works across a snapshot boundary.
+type snapPayload struct {
+	Term  uint64          `json:"term"`
+	State json.RawMessage `json:"state"`
+}
+
+// StateMachine is the replicated state the log drives. The unsharded
+// server wires a live scheduler here (core.ApplyCommitted per record);
+// the shard server wires the envelope stream.
+//
+// Lock discipline: Apply, SnapshotWith and Restore are only ever called
+// from one node goroutine at a time, but they run concurrently with the
+// owner's own reads, so implementations take the owner's lock. The node
+// never holds its internal mutex while calling Apply or Restore;
+// SnapshotWith's write callback is the one place both locks are held
+// (state machine outside, node inside), which freezes the applied index
+// and the journal sequence together so the snapshot is stamped exactly.
+type StateMachine interface {
+	// Apply applies one committed entry, in log order.
+	Apply(data []byte) error
+	// SnapshotWith exports the current state and hands it to write while
+	// still holding whatever lock froze it; write persists it.
+	SnapshotWith(write func(state []byte) error) error
+	// Restore resets the machine to snap (nil means genesis) and then
+	// applies entries in order.
+	Restore(snap []byte, entries [][]byte) error
+}
+
+// Config assembles a Node.
+type Config struct {
+	// ID names this node; it must be unique across the cluster.
+	ID string
+	// Peers maps every OTHER node's ID to a transport reaching it.
+	Peers map[string]Transport
+	// Journal is the node's write-ahead journal, opened but not yet
+	// recovered — Start owns recovery.
+	Journal *journal.Journal
+	// SM is the replicated state machine.
+	SM StateMachine
+	// SnapshotEvery is the record count between journal snapshots
+	// (default 256; <0 disables periodic snapshots).
+	SnapshotEvery int
+	// Heartbeat is the leader's heartbeat period (default 100ms). A
+	// follower treats each heartbeat as a leadership lease renewal.
+	Heartbeat time.Duration
+	// ElectionTimeout is the base lease: a follower that hears nothing
+	// for a randomized [1x, 2x) multiple of it starts an election
+	// (default 10x Heartbeat).
+	ElectionTimeout time.Duration
+	// RPCTimeout bounds a single peer RPC (default ElectionTimeout).
+	RPCTimeout time.Duration
+	// ProposeTimeout bounds the quorum wait of one Propose (default 4x
+	// ElectionTimeout).
+	ProposeTimeout time.Duration
+	// Metrics, when non-nil, receives the sparcle_repl_* series.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives role transitions and repair events.
+	Logger *slog.Logger
+	// Seed seeds the election jitter (0 = time-seeded).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 100 * time.Millisecond
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 10 * c.Heartbeat
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = c.ElectionTimeout
+	}
+	if c.ProposeTimeout <= 0 {
+		c.ProposeTimeout = 4 * c.ElectionTimeout
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return c
+}
+
+// commitWaiter parks one Propose until its entry commits or the term
+// ends.
+type commitWaiter struct {
+	seq  uint64
+	term uint64
+	c    chan error
+}
+
+// Node is one member of the replicated control plane. All exported
+// methods are safe for concurrent use.
+type Node struct {
+	cfg    Config
+	quorum int
+
+	mu       sync.Mutex
+	role     Role
+	term     uint64
+	votedFor string
+	leaderID string
+	// ready is set once the leader's term barrier has committed; Propose
+	// before that answers ErrNotReady (retryable).
+	ready   bool
+	barrier uint64
+
+	// The in-memory log: snapData/snapBase/snapTerm mirror the journal's
+	// newest snapshot, tail holds every entry after it (contiguous, so
+	// tail[i].Seq == snapBase+1+i). The tail serves catch-up streaming
+	// and term lookups without disk reads; the journal holds the same
+	// bytes durably.
+	snapBase uint64
+	snapTerm uint64
+	snapData []byte
+	tail     []Entry
+
+	commitIndex uint64
+	lastApplied uint64
+	// restoreBase asks the apply loop to reset the state machine to the
+	// local snapshot before applying (set after a divergent-suffix
+	// truncation or a snapshot install).
+	restoreBase bool
+	// promoteApply lets the apply loop run past commitIndex up to the
+	// log end during leader promotion.
+	promoteApply bool
+
+	match    map[string]uint64
+	catching map[string]bool
+	waiters  []*commitWaiter
+
+	lastHeard        time.Time
+	electionDeadline time.Time
+	rng              *rand.Rand
+
+	proposeMu sync.Mutex
+
+	applyc  chan struct{}
+	stopc   chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+
+	snapshotting atomic.Bool
+}
+
+// New validates the configuration and returns an unstarted node.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("replica: empty node ID")
+	}
+	if cfg.Journal == nil {
+		return nil, fmt.Errorf("replica: nil journal")
+	}
+	if cfg.SM == nil {
+		return nil, fmt.Errorf("replica: nil state machine")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; ok {
+		return nil, fmt.Errorf("replica: peers must not include the node itself (%q)", cfg.ID)
+	}
+	n := &Node{
+		cfg:      cfg,
+		quorum:   (len(cfg.Peers)+1)/2 + 1,
+		match:    make(map[string]uint64, len(cfg.Peers)),
+		catching: make(map[string]bool, len(cfg.Peers)),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		applyc:   make(chan struct{}, 1),
+		stopc:    make(chan struct{}),
+	}
+	n.registerMetrics()
+	return n, nil
+}
+
+// Start recovers the journal, restores the state machine through the
+// full local log (safe: every acknowledged entry is quorum-persisted, so
+// an unacknowledged local suffix is either adopted by the next leader or
+// truncated by the conflict path), persists a genesis snapshot on an
+// empty journal, and launches the election and apply loops.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return fmt.Errorf("replica: Start called twice")
+	}
+	n.started = true
+	n.mu.Unlock()
+
+	if err := n.loadMeta(); err != nil {
+		return err
+	}
+	snapBytes, recs, err := n.cfg.Journal.Recover()
+	if err != nil {
+		return fmt.Errorf("replica: recover journal: %w", err)
+	}
+	var smSnap []byte
+	if snapBytes != nil {
+		var sp snapPayload
+		if err := json.Unmarshal(snapBytes, &sp); err != nil {
+			return fmt.Errorf("replica: decode snapshot payload: %w", err)
+		}
+		n.snapTerm = sp.Term
+		n.snapData = sp.State
+		smSnap = sp.State
+	}
+	n.snapBase = n.cfg.Journal.SnapshotSeq()
+	var datas [][]byte
+	for _, r := range recs {
+		var e Entry
+		if err := json.Unmarshal(r.Data, &e); err != nil {
+			return fmt.Errorf("replica: decode entry %d: %w", r.Seq, err)
+		}
+		if e.Seq != r.Seq {
+			return fmt.Errorf("replica: entry %d carries seq %d", r.Seq, e.Seq)
+		}
+		n.tail = append(n.tail, e)
+		if !e.Nop {
+			datas = append(datas, e.Data)
+		}
+	}
+	if err := n.cfg.SM.Restore(smSnap, datas); err != nil {
+		return fmt.Errorf("replica: restore state machine: %w", err)
+	}
+	last := n.snapBase + uint64(len(n.tail))
+	n.commitIndex, n.lastApplied = last, last
+
+	if snapBytes == nil && len(recs) == 0 {
+		// Genesis: pin the initial state so every later recovery — and
+		// every snapshot catch-up of an empty peer — starts from the
+		// same bytes.
+		err := n.cfg.SM.SnapshotWith(func(state []byte) error {
+			if err := n.cfg.Journal.WriteSnapshot(snapPayload{State: state}); err != nil {
+				return err
+			}
+			n.snapData = append([]byte(nil), state...)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("replica: genesis snapshot: %w", err)
+		}
+	}
+
+	n.mu.Lock()
+	n.resetElectionLocked(time.Now())
+	n.observeStateLocked()
+	n.mu.Unlock()
+
+	n.wg.Add(2)
+	go n.tickLoop()
+	go n.applyLoop()
+	n.cfg.Logger.Info("replica started", "id", n.cfg.ID, "term", n.term, "lastSeq", last)
+	return nil
+}
+
+// Stop halts the node's loops and fails any parked proposals. The
+// journal stays open (its owner closes it).
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped || !n.started {
+		n.stopped = true
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	for _, w := range n.waiters {
+		w.c <- ErrStopped
+	}
+	n.waiters = nil
+	n.mu.Unlock()
+	close(n.stopc)
+	n.wg.Wait()
+}
+
+// --- accessors ---
+
+// Status is the observable replication state, mirrored in /healthz.
+type Status struct {
+	ID          string `json:"id"`
+	Role        string `json:"role"`
+	Term        uint64 `json:"term"`
+	CommitIndex uint64 `json:"commitIndex"`
+	LastSeq     uint64 `json:"lastSeq"`
+	LastApplied uint64 `json:"lastApplied"`
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Leader is the current leader's ID ("" while unknown).
+	Leader string `json:"leader,omitempty"`
+	// Ready reports a leader whose term barrier has committed (it can
+	// acknowledge proposals).
+	Ready bool `json:"ready"`
+	Peers int  `json:"peers"`
+}
+
+// Status returns a point-in-time view of the node.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lid := n.leaderID
+	if n.role == Leader {
+		lid = n.cfg.ID
+	}
+	return Status{
+		ID:          n.cfg.ID,
+		Role:        n.role.String(),
+		Term:        n.term,
+		CommitIndex: n.commitIndex,
+		LastSeq:     n.lastSeqLocked(),
+		LastApplied: n.lastApplied,
+		SnapshotSeq: n.snapBase,
+		Leader:      lid,
+		Ready:       n.ready,
+		Peers:       len(n.cfg.Peers),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// ForceRestore asks the apply loop to reset the state machine to the
+// local snapshot and re-apply the committed log. The owner calls it when
+// its state machine ran ahead of the replicated log: an operation was
+// applied locally but its Propose failed, so the machine holds state the
+// log may never commit. After the restore the machine again equals the
+// committed prefix; if the orphaned entry commits later after all, the
+// apply loop delivers it like any other committed entry.
+func (n *Node) ForceRestore() {
+	n.mu.Lock()
+	n.restoreBase = true
+	n.mu.Unlock()
+	n.kickApply()
+}
+
+// IsLeader reports whether the node currently leads (it may not be ready
+// yet).
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == Leader
+}
+
+// Leader returns the current leader's ID, "" while unknown.
+func (n *Node) Leader() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == Leader {
+		return n.cfg.ID
+	}
+	return n.leaderID
+}
+
+// --- log helpers (mu held) ---
+
+func (n *Node) lastSeqLocked() uint64 { return n.snapBase + uint64(len(n.tail)) }
+
+// termAtLocked returns the term of the entry at seq; ok is false when
+// seq is below the snapshot base or past the log end.
+func (n *Node) termAtLocked(seq uint64) (uint64, bool) {
+	switch {
+	case seq == n.snapBase:
+		return n.snapTerm, true
+	case seq > n.snapBase && seq <= n.lastSeqLocked():
+		return n.tail[seq-n.snapBase-1].Term, true
+	default:
+		return 0, false
+	}
+}
+
+// appendEntryLocked writes one entry to the journal and the in-memory
+// tail. The journal assigns sequence numbers itself; the invariant that
+// the replica log and the journal agree is asserted here.
+func (n *Node) appendEntryLocked(e Entry) error {
+	if want := n.lastSeqLocked() + 1; e.Seq != want {
+		return fmt.Errorf("replica: append seq %d, log expects %d", e.Seq, want)
+	}
+	seq, err := n.cfg.Journal.Append(recordType, e)
+	if err != nil {
+		return err
+	}
+	if seq != e.Seq {
+		return fmt.Errorf("replica: journal assigned seq %d to entry %d", seq, e.Seq)
+	}
+	n.tail = append(n.tail, e)
+	return nil
+}
+
+// --- vote persistence ---
+
+type metaState struct {
+	Term     uint64 `json:"term"`
+	VotedFor string `json:"votedFor"`
+}
+
+func (n *Node) loadMeta() error {
+	path := filepath.Join(n.cfg.Journal.Dir(), metaFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("replica: read vote state: %w", err)
+	}
+	var m metaState
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("replica: decode vote state: %w", err)
+	}
+	n.term, n.votedFor = m.Term, m.VotedFor
+	return nil
+}
+
+// persistMetaLocked writes (term, votedFor) atomically. It must succeed
+// before a vote is granted or a candidacy announced: a node that forgets
+// its vote across a crash can hand two leaders the same term.
+func (n *Node) persistMetaLocked() error {
+	data, err := json.Marshal(metaState{Term: n.term, VotedFor: n.votedFor})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(n.cfg.Journal.Dir(), metaFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("replica: write vote state: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("replica: write vote state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("replica: fsync vote state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("replica: publish vote state: %w", err)
+	}
+	return nil
+}
+
+// --- apply loop ---
+
+func (n *Node) kickApply() {
+	select {
+	case n.applyc <- struct{}{}:
+	default:
+	}
+}
+
+func (n *Node) applyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopc:
+			return
+		case <-n.applyc:
+		}
+		n.drainApply()
+	}
+}
+
+// drainApply advances the state machine to the commit index (or to the
+// log end during promotion), running any pending snapshot restore first.
+// It is the only code path that calls SM.Apply or SM.Restore after
+// Start, which serializes all state-machine writes.
+func (n *Node) drainApply() {
+	for {
+		n.mu.Lock()
+		if n.restoreBase {
+			n.restoreBase = false
+			snap := n.snapData
+			base := n.snapBase
+			n.lastApplied = base
+			n.mu.Unlock()
+			if err := n.cfg.SM.Restore(snap, nil); err != nil {
+				n.cfg.Logger.Error("replica: state machine restore failed; applies halted", "err", err)
+				return
+			}
+			continue
+		}
+		limit := n.commitIndex
+		if n.promoteApply && n.role == Leader {
+			limit = n.lastSeqLocked()
+		}
+		if n.lastApplied >= limit || n.lastApplied < n.snapBase {
+			n.mu.Unlock()
+			return
+		}
+		e := n.tail[n.lastApplied-n.snapBase]
+		n.mu.Unlock()
+		if !e.Nop {
+			if err := n.cfg.SM.Apply(e.Data); err != nil {
+				n.cfg.Logger.Error("replica: apply failed; applies halted", "seq", e.Seq, "err", err)
+				return
+			}
+		}
+		n.mu.Lock()
+		n.lastApplied = e.Seq
+		n.mu.Unlock()
+		n.maybeSnapshot()
+	}
+}
+
+// maybeSnapshot starts an asynchronous journal snapshot when the cadence
+// is due and the state machine has applied the whole log.
+func (n *Node) maybeSnapshot() {
+	if n.cfg.SnapshotEvery <= 0 || n.cfg.Journal.SinceSnapshot() < n.cfg.SnapshotEvery {
+		return
+	}
+	if !n.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer n.snapshotting.Store(false)
+		if err := n.snapshotNow(); err != nil {
+			n.cfg.Logger.Error("replica: snapshot failed", "err", err)
+		}
+	}()
+}
+
+// snapshotNow cuts a snapshot at the current log end. The SnapshotWith
+// callback holds the state-machine lock (freezing lastApplied) and takes
+// the node lock (freezing the journal sequence — every append happens
+// under it), so the exported state provably covers exactly the stamped
+// sequence number; if the log ran ahead of the applied index the cut is
+// skipped and retried at the next cadence check.
+func (n *Node) snapshotNow() error {
+	return n.cfg.SM.SnapshotWith(func(state []byte) error {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		last := n.lastSeqLocked()
+		if n.lastApplied != last {
+			return nil
+		}
+		term, _ := n.termAtLocked(last)
+		if err := n.cfg.Journal.WriteSnapshot(snapPayload{Term: term, State: state}); err != nil {
+			return err
+		}
+		n.snapBase, n.snapTerm = last, term
+		n.snapData = append([]byte(nil), state...)
+		n.tail = nil
+		return nil
+	})
+}

@@ -1,0 +1,629 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sparcle/internal/journal"
+	"sparcle/internal/obs"
+)
+
+// --- in-process cluster harness ---
+
+// testNet injects partitions: a cut link fails both directions.
+type testNet struct {
+	mu  sync.Mutex
+	cut map[string]bool
+}
+
+func newTestNet() *testNet { return &testNet{cut: make(map[string]bool)} }
+
+func (tn *testNet) blocked(from, to string) bool {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return tn.cut[from+"->"+to]
+}
+
+func (tn *testNet) setCut(a, b string, cut bool) {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	tn.cut[a+"->"+b] = cut
+	tn.cut[b+"->"+a] = cut
+}
+
+// isolate cuts id from every other node.
+func (tn *testNet) isolate(ids []string, id string, cut bool) {
+	for _, other := range ids {
+		if other != id {
+			tn.setCut(id, other, cut)
+		}
+	}
+}
+
+var errPartitioned = errors.New("testnet: partitioned")
+var errDown = errors.New("testnet: node down")
+
+// localTransport calls the target node's handlers directly, resolving
+// the node at call time so restarts swap in the new instance.
+type localTransport struct {
+	net      *testNet
+	from, to string
+	resolve  func(id string) *Node
+}
+
+func (lt *localTransport) target() (*Node, error) {
+	if lt.net.blocked(lt.from, lt.to) {
+		return nil, errPartitioned
+	}
+	n := lt.resolve(lt.to)
+	if n == nil {
+		return nil, errDown
+	}
+	return n, nil
+}
+
+func (lt *localTransport) AppendEntries(_ context.Context, req *AppendRequest) (*AppendResponse, error) {
+	n, err := lt.target()
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleAppendEntries(req)
+}
+
+func (lt *localTransport) RequestVote(_ context.Context, req *VoteRequest) (*VoteResponse, error) {
+	n, err := lt.target()
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleRequestVote(req)
+}
+
+func (lt *localTransport) InstallSnapshot(_ context.Context, req *InstallSnapshotRequest) (*InstallSnapshotResponse, error) {
+	n, err := lt.target()
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleInstallSnapshot(req)
+}
+
+// fakeSM is an order-sensitive log of applied payloads.
+type fakeSM struct {
+	mu      sync.Mutex
+	applied []string
+}
+
+func (s *fakeSM) Apply(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied = append(s.applied, string(data))
+	return nil
+}
+
+func (s *fakeSM) SnapshotWith(write func(state []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	state, err := json.Marshal(s.applied)
+	if err != nil {
+		return err
+	}
+	return write(state)
+}
+
+func (s *fakeSM) Restore(snap []byte, entries [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied = nil
+	if snap != nil {
+		if err := json.Unmarshal(snap, &s.applied); err != nil {
+			return err
+		}
+	}
+	for _, e := range entries {
+		s.applied = append(s.applied, string(e))
+	}
+	return nil
+}
+
+func (s *fakeSM) state() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.applied...)
+}
+
+type cluster struct {
+	t    *testing.T
+	ids  []string
+	net  *testNet
+	dirs map[string]string
+
+	mu       sync.Mutex
+	nodes    map[string]*Node
+	sms      map[string]*fakeSM
+	journals map[string]*journal.Journal
+
+	snapshotEvery int
+}
+
+func newCluster(t *testing.T, snapshotEvery int) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:             t,
+		ids:           []string{"a", "b", "c"},
+		net:           newTestNet(),
+		dirs:          make(map[string]string),
+		nodes:         make(map[string]*Node),
+		sms:           make(map[string]*fakeSM),
+		journals:      make(map[string]*journal.Journal),
+		snapshotEvery: snapshotEvery,
+	}
+	for _, id := range c.ids {
+		c.dirs[id] = t.TempDir()
+	}
+	for i, id := range c.ids {
+		c.startNode(id, int64(i+1))
+	}
+	t.Cleanup(c.stopAll)
+	return c
+}
+
+func (c *cluster) node(id string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+func (c *cluster) sm(id string) *fakeSM {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sms[id]
+}
+
+func (c *cluster) startNode(id string, seed int64) *Node {
+	c.t.Helper()
+	j, err := journal.Open(c.dirs[id], journal.Options{})
+	if err != nil {
+		c.t.Fatalf("open journal %s: %v", id, err)
+	}
+	peers := make(map[string]Transport)
+	for _, pid := range c.ids {
+		if pid == id {
+			continue
+		}
+		peers[pid] = &localTransport{net: c.net, from: id, to: pid, resolve: c.node}
+	}
+	sm := &fakeSM{}
+	n, err := New(Config{
+		ID:              id,
+		Peers:           peers,
+		Journal:         j,
+		SM:              sm,
+		SnapshotEvery:   c.snapshotEvery,
+		Heartbeat:       5 * time.Millisecond,
+		ElectionTimeout: 60 * time.Millisecond,
+		RPCTimeout:      80 * time.Millisecond,
+		ProposeTimeout:  700 * time.Millisecond,
+		Seed:            seed,
+	})
+	if err != nil {
+		c.t.Fatalf("new node %s: %v", id, err)
+	}
+	if err := n.Start(); err != nil {
+		c.t.Fatalf("start node %s: %v", id, err)
+	}
+	c.mu.Lock()
+	c.nodes[id] = n
+	c.sms[id] = sm
+	c.journals[id] = j
+	c.mu.Unlock()
+	return n
+}
+
+// stopNode simulates a process kill: node loops stop, journal closes.
+func (c *cluster) stopNode(id string) {
+	c.mu.Lock()
+	n, j := c.nodes[id], c.journals[id]
+	c.nodes[id] = nil
+	c.journals[id] = nil
+	c.mu.Unlock()
+	if n != nil {
+		n.Stop()
+	}
+	if j != nil {
+		j.Close()
+	}
+}
+
+func (c *cluster) stopAll() {
+	for _, id := range c.ids {
+		c.stopNode(id)
+	}
+}
+
+func (c *cluster) live() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Node
+	for _, id := range c.ids {
+		if n := c.nodes[id]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// waitLeader blocks until some live node (excluding the listed IDs —
+// e.g. an isolated old leader that cannot learn it was deposed) is a
+// ready leader.
+func (c *cluster) waitLeader(exclude ...string) *Node {
+	c.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range c.live() {
+			skip := false
+			for _, x := range exclude {
+				if n.ID() == x {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+			st := n.Status()
+			if st.Role == "leader" && st.Ready {
+				return n
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.t.Fatal("no ready leader elected")
+	return nil
+}
+
+// waitConverged blocks until every live node's applied state equals
+// want (order-sensitive).
+func (c *cluster) waitConverged(want []string) {
+	c.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		c.mu.Lock()
+		for _, id := range c.ids {
+			if c.nodes[id] == nil {
+				continue
+			}
+			if !reflect.DeepEqual(c.sms[id].state(), want) {
+				ok = false
+				break
+			}
+		}
+		c.mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.ids {
+		if c.nodes[id] != nil {
+			c.t.Logf("node %s: %v (status %+v)", id, c.sms[id].state(), c.nodes[id].Status())
+		}
+	}
+	c.t.Fatalf("cluster did not converge to %v", want)
+}
+
+// propose emulates what the server does with one write: find the ready
+// leader, apply the op to ITS state machine (the leader's scheduler runs
+// the op before the commit hook proposes), then Propose and wait for
+// quorum. Retried across failovers like an HTTP client following
+// redirects. A leader that applied locally but failed to commit is left
+// to the truncate+restore heal, exactly as in production.
+func (c *cluster) propose(payload string) error {
+	c.t.Helper()
+	data := []byte(fmt.Sprintf("%q", payload))
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// Pick the ready leader with the highest term: an isolated old
+		// leader can still believe it leads, but redirects from the
+		// majority side point clients at the newest term.
+		var target *Node
+		var targetTerm uint64
+		for _, n := range c.live() {
+			if st := n.Status(); st.Role == "leader" && st.Ready && st.Term > targetTerm {
+				target, targetTerm = n, st.Term
+			}
+		}
+		if target == nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		c.sm(target.ID()).Apply(data)
+		err := target.Propose(data)
+		var nl *NotLeaderError
+		switch {
+		case err == nil:
+			return nil
+		case errors.As(err, &nl), errors.Is(err, ErrNotReady), errors.Is(err, ErrNoQuorum), errors.Is(err, ErrStopped):
+			time.Sleep(5 * time.Millisecond)
+			continue
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("propose %q: no leader accepted before deadline", payload)
+}
+
+func quoted(vals ...string) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%q", v)
+	}
+	return out
+}
+
+// --- tests ---
+
+func TestElectionAndReplication(t *testing.T) {
+	c := newCluster(t, -1)
+	lead := c.waitLeader()
+	for i := 0; i < 5; i++ {
+		if err := c.propose(fmt.Sprintf("op-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitConverged(quoted("op-0", "op-1", "op-2", "op-3", "op-4"))
+	// Exactly one leader.
+	leaders := 0
+	for _, n := range c.live() {
+		if n.IsLeader() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d concurrent leaders", leaders)
+	}
+	if got := lead.Status().CommitIndex; got < 5 {
+		t.Fatalf("leader commit index %d, want >= 5", got)
+	}
+}
+
+func TestPartitionedFollowerCatchesUpByStreaming(t *testing.T) {
+	c := newCluster(t, -1)
+	lead := c.waitLeader()
+	var lag string
+	for _, id := range c.ids {
+		if id != lead.ID() {
+			lag = id
+			break
+		}
+	}
+	c.net.isolate(c.ids, lag, true)
+	var want []string
+	for i := 0; i < 4; i++ {
+		p := fmt.Sprintf("cut-%d", i)
+		if err := c.propose(p); err != nil {
+			t.Fatal(err) // quorum = leader + remaining follower
+		}
+		want = append(want, fmt.Sprintf("%q", p))
+	}
+	c.net.isolate(c.ids, lag, false)
+	c.waitConverged(want)
+}
+
+func TestLaggerBeyondSnapshotGetsInstall(t *testing.T) {
+	c := newCluster(t, 3) // aggressive snapshot cadence
+	lead := c.waitLeader()
+	var lag string
+	for _, id := range c.ids {
+		if id != lead.ID() {
+			lag = id
+			break
+		}
+	}
+	c.net.isolate(c.ids, lag, true)
+	var want []string
+	for i := 0; i < 12; i++ {
+		p := fmt.Sprintf("deep-%d", i)
+		if err := c.propose(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprintf("%q", p))
+	}
+	// Wait for the leader to compact past the follower's log end so only
+	// a snapshot install can repair it.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.node(lead.ID()).Status().SnapshotSeq > 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.node(lead.ID()).Status().SnapshotSeq <= 1 {
+		t.Skip("leader never compacted; snapshot cadence not reached")
+	}
+	c.net.isolate(c.ids, lag, false)
+	c.waitConverged(want)
+	if base := c.node(lag).Status().SnapshotSeq; base <= 1 {
+		t.Fatalf("lagging follower snapshot base %d, want > 1 (installed)", base)
+	}
+}
+
+func TestLeaderKillFailoverPreservesAckedOps(t *testing.T) {
+	c := newCluster(t, -1)
+	lead := c.waitLeader()
+	var want []string
+	for i := 0; i < 3; i++ {
+		p := fmt.Sprintf("pre-%d", i)
+		if err := c.propose(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprintf("%q", p))
+	}
+	c.stopNode(lead.ID()) // SIGKILL equivalent
+	next := c.waitLeader()
+	if next.ID() == lead.ID() {
+		t.Fatal("dead node still leads")
+	}
+	for i := 0; i < 3; i++ {
+		p := fmt.Sprintf("post-%d", i)
+		if err := c.propose(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprintf("%q", p))
+	}
+	c.waitConverged(want) // live nodes only
+	// The killed node restarts and rejoins with every acked op intact.
+	c.startNode(lead.ID(), 99)
+	c.waitConverged(want)
+}
+
+func TestDeposedLeaderTruncatesUnackedTail(t *testing.T) {
+	c := newCluster(t, -1)
+	lead := c.waitLeader()
+	if err := c.propose("committed-0"); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the leader off and push a proposal that can never reach quorum:
+	// it lands in the old leader's journal but must not survive.
+	c.net.isolate(c.ids, lead.ID(), true)
+	c.sm(lead.ID()).Apply([]byte(`"orphan"`))
+	err := lead.Propose([]byte(`"orphan"`))
+	if err == nil {
+		t.Fatal("isolated leader acked a proposal")
+	}
+	// The majority side elects a new leader and commits new entries.
+	next := c.waitLeader(lead.ID())
+	if next.ID() == lead.ID() {
+		t.Fatal("isolated node claims leadership on the majority side")
+	}
+	want := quoted("committed-0")
+	for i := 0; i < 3; i++ {
+		p := fmt.Sprintf("new-%d", i)
+		if perr := c.propose(p); perr != nil {
+			t.Fatal(perr)
+		}
+		want = append(want, fmt.Sprintf("%q", p))
+	}
+	// Heal: the deposed leader must truncate "orphan" and converge.
+	c.net.isolate(c.ids, lead.ID(), false)
+	c.waitConverged(want)
+	for _, s := range c.sm(lead.ID()).state() {
+		if s == `"orphan"` {
+			t.Fatal("unacked tail survived the truncation")
+		}
+	}
+}
+
+func TestRestartResumesFromLocalJournal(t *testing.T) {
+	c := newCluster(t, 4)
+	c.waitLeader()
+	var want []string
+	for i := 0; i < 9; i++ {
+		p := fmt.Sprintf("r-%d", i)
+		if err := c.propose(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprintf("%q", p))
+	}
+	c.waitConverged(want)
+	// Bounce every node in turn; each must come back byte-identical from
+	// its own journal (snapshot + tail), then keep following.
+	for i, id := range c.ids {
+		c.stopNode(id)
+		time.Sleep(10 * time.Millisecond)
+		c.startNode(id, int64(100+i))
+		c.waitConverged(want)
+	}
+	p := "after-bounces"
+	if err := c.propose(p); err != nil {
+		t.Fatal(err)
+	}
+	c.waitConverged(append(want, fmt.Sprintf("%q", p)))
+}
+
+func TestProposeOnFollowerRedirects(t *testing.T) {
+	c := newCluster(t, -1)
+	lead := c.waitLeader()
+	for _, n := range c.live() {
+		if n.ID() == lead.ID() {
+			continue
+		}
+		err := n.Propose([]byte(`"x"`))
+		var nl *NotLeaderError
+		if !errors.As(err, &nl) {
+			t.Fatalf("follower Propose error = %v, want NotLeaderError", err)
+		}
+		if nl.LeaderID != lead.ID() {
+			t.Fatalf("redirect names %q, want %q", nl.LeaderID, lead.ID())
+		}
+	}
+}
+
+func TestMetricsMirrorRoleTermCommit(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	j, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	n, err := New(Config{
+		ID:              "solo",
+		Peers:           map[string]Transport{},
+		Journal:         j,
+		SM:              &fakeSM{},
+		Heartbeat:       5 * time.Millisecond,
+		ElectionTimeout: 20 * time.Millisecond,
+		Metrics:         reg,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	// A single-node cluster (quorum 1) elects itself and commits alone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !(n.IsLeader() && n.Status().Ready) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !n.Status().Ready {
+		t.Fatal("solo node never became ready leader")
+	}
+	if err := n.Propose([]byte(`"solo-op"`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge(metricRole).Value(); got != float64(Leader) {
+		t.Fatalf("%s = %v, want %v", metricRole, got, float64(Leader))
+	}
+	if got := reg.Gauge(metricTerm).Value(); got < 1 {
+		t.Fatalf("%s = %v, want >= 1", metricTerm, got)
+	}
+	if got := reg.Gauge(metricCommitIndex).Value(); got < 2 {
+		t.Fatalf("%s = %v, want >= 2 (barrier + op)", metricCommitIndex, got)
+	}
+	if got := reg.Counter(metricQuorumAcks).Value(); got != 1 {
+		t.Fatalf("%s = %v, want 1", metricQuorumAcks, got)
+	}
+}
+
+func TestMetricsOffIsAllocationFree(t *testing.T) {
+	n := &Node{} // nil registry
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if avg := testing.AllocsPerRun(100, func() {
+		n.observeStateLocked()
+		n.countQuorumAck()
+		n.countCatchupSnapshot()
+	}); avg != 0 {
+		t.Fatalf("metrics-off path allocates %v per call", avg)
+	}
+}

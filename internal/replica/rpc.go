@@ -1,0 +1,282 @@
+package replica
+
+import (
+	"fmt"
+	"time"
+)
+
+// AppendRequest replicates entries (or, with none, renews the leader's
+// lease). PrevSeq/PrevTerm anchor the log-matching check at the point
+// just before Entries.
+type AppendRequest struct {
+	Term         uint64  `json:"term"`
+	LeaderID     string  `json:"leaderId"`
+	PrevSeq      uint64  `json:"prevSeq"`
+	PrevTerm     uint64  `json:"prevTerm"`
+	Entries      []Entry `json:"entries,omitempty"`
+	LeaderCommit uint64  `json:"leaderCommit"`
+}
+
+// AppendResponse reports acceptance. On success LastSeq is the
+// follower's log end (feeds the leader's match index). On rejection
+// HintSeq/HintTerm describe a point of the follower's log from which the
+// leader can retry — its log end when it is simply behind, its snapshot
+// base after a term conflict.
+type AppendResponse struct {
+	Term     uint64 `json:"term"`
+	Success  bool   `json:"success"`
+	LastSeq  uint64 `json:"lastSeq,omitempty"`
+	HintSeq  uint64 `json:"hintSeq,omitempty"`
+	HintTerm uint64 `json:"hintTerm,omitempty"`
+}
+
+// VoteRequest asks for a vote in Term. LastSeq/LastTerm summarize the
+// candidate's log; a voter only grants when that log is at least as
+// up-to-date as its own, which is what guarantees no quorum-acked entry
+// is ever lost by an election.
+type VoteRequest struct {
+	Term        uint64 `json:"term"`
+	CandidateID string `json:"candidateId"`
+	LastSeq     uint64 `json:"lastSeq"`
+	LastTerm    uint64 `json:"lastTerm"`
+}
+
+// VoteResponse grants or denies.
+type VoteResponse struct {
+	Term    uint64 `json:"term"`
+	Granted bool   `json:"granted"`
+}
+
+// InstallSnapshotRequest ships a full snapshot plus the leader's current
+// tail in one shot: after installing, the follower's log is identical to
+// the leader's. Used when record streaming cannot repair the follower
+// (its hint predates the leader's snapshot base).
+type InstallSnapshotRequest struct {
+	Term         uint64  `json:"term"`
+	LeaderID     string  `json:"leaderId"`
+	SnapSeq      uint64  `json:"snapSeq"`
+	SnapTerm     uint64  `json:"snapTerm"`
+	State        []byte  `json:"state"`
+	Entries      []Entry `json:"entries,omitempty"`
+	LeaderCommit uint64  `json:"leaderCommit"`
+}
+
+// InstallSnapshotResponse acknowledges an install; LastSeq is the
+// follower's log end afterwards.
+type InstallSnapshotResponse struct {
+	Term    uint64 `json:"term"`
+	Success bool   `json:"success"`
+	LastSeq uint64 `json:"lastSeq,omitempty"`
+}
+
+// observeTermLocked adopts a higher term (stepping down if needed) and
+// persists the vote state. Returns an error only on persist failure.
+func (n *Node) observeTermLocked(term uint64) error {
+	if term <= n.term {
+		return nil
+	}
+	return n.stepDownLocked(term)
+}
+
+// HandleAppendEntries is the follower half of replication and lease
+// renewal. It runs synchronously under the node lock; journal writes
+// (append, truncate) happen inline so a success response means the
+// entries are on stable storage under the journal's fsync policy.
+func (n *Node) HandleAppendEntries(req *AppendRequest) (*AppendResponse, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if req.Term < n.term {
+		resp := &AppendResponse{Term: n.term}
+		n.mu.Unlock()
+		return resp, nil
+	}
+	if err := n.observeTermLocked(req.Term); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	if n.role != Follower {
+		n.becomeFollowerLocked()
+	}
+	n.leaderID = req.LeaderID
+	n.resetElectionLocked(time.Now())
+
+	resp, kick, err := n.acceptEntriesLocked(req.PrevSeq, req.PrevTerm, req.Entries, req.LeaderCommit)
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if kick {
+		n.kickApply()
+	}
+	return resp, nil
+}
+
+// acceptEntriesLocked is the shared follower-side append core: verify
+// the prev anchor, skip duplicates, truncate a conflicting suffix, and
+// append the rest. Used by HandleAppendEntries and by the
+// already-covered-snapshot path of HandleInstallSnapshot. Returns
+// whether the apply loop needs a kick (done outside the lock).
+func (n *Node) acceptEntriesLocked(prevSeq, prevTerm uint64, entries []Entry, leaderCommit uint64) (*AppendResponse, bool, error) {
+	last := n.lastSeqLocked()
+	if prevSeq > last {
+		t, _ := n.termAtLocked(last)
+		return &AppendResponse{Term: n.term, HintSeq: last, HintTerm: t}, false, nil
+	}
+	if prevSeq > n.snapBase {
+		if t, _ := n.termAtLocked(prevSeq); t != prevTerm {
+			// The anchor itself conflicts. Point the leader at our
+			// snapshot base — everything at or below it is committed
+			// state and guaranteed to match.
+			return &AppendResponse{Term: n.term, HintSeq: n.snapBase, HintTerm: n.snapTerm}, false, nil
+		}
+	}
+
+	for _, e := range entries {
+		if e.Seq <= n.snapBase {
+			continue // already covered by our snapshot (committed)
+		}
+		if e.Seq <= last {
+			if t, _ := n.termAtLocked(e.Seq); t == e.Term {
+				continue // duplicate of what we already hold
+			}
+			// Term conflict: our suffix from e.Seq on was never
+			// quorum-acked (a deposed leader's tail). Cut it.
+			if err := n.cfg.Journal.TruncateTo(e.Seq - 1); err != nil {
+				return nil, false, fmt.Errorf("replica: truncate divergent tail: %w", err)
+			}
+			n.tail = n.tail[:e.Seq-1-n.snapBase]
+			last = e.Seq - 1
+			if n.commitIndex > last {
+				// Only possible when a restart optimistically treated the
+				// whole local log as committed; the cut proves the excess
+				// was not.
+				n.commitIndex = last
+			}
+			if n.lastApplied > last {
+				// The state machine already ran the divergent suffix
+				// (applied at restart): rebuild it from the local
+				// snapshot, then re-apply the surviving committed log.
+				n.restoreBase = true
+			}
+		}
+		if e.Seq != last+1 {
+			t, _ := n.termAtLocked(last)
+			return &AppendResponse{Term: n.term, HintSeq: last, HintTerm: t}, false, nil
+		}
+		if err := n.appendEntryLocked(e); err != nil {
+			return nil, false, err
+		}
+		last = e.Seq
+	}
+
+	if leaderCommit > n.commitIndex {
+		n.commitIndex = min(leaderCommit, last)
+		n.observeStateLocked()
+	}
+	kick := n.restoreBase || n.commitIndex > n.lastApplied
+	return &AppendResponse{Term: n.term, Success: true, LastSeq: last}, kick, nil
+}
+
+// HandleRequestVote is the voter half of elections.
+func (n *Node) HandleRequestVote(req *VoteRequest) (*VoteResponse, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return nil, ErrStopped
+	}
+	if req.Term < n.term {
+		return &VoteResponse{Term: n.term}, nil
+	}
+	if err := n.observeTermLocked(req.Term); err != nil {
+		return nil, err
+	}
+	myLast := n.lastSeqLocked()
+	myTerm, _ := n.termAtLocked(myLast)
+	upToDate := req.LastTerm > myTerm || (req.LastTerm == myTerm && req.LastSeq >= myLast)
+	if !upToDate || (n.votedFor != "" && n.votedFor != req.CandidateID) {
+		return &VoteResponse{Term: n.term}, nil
+	}
+	n.votedFor = req.CandidateID
+	if err := n.persistMetaLocked(); err != nil {
+		// A vote that is not durable must not be granted: after a crash
+		// we could vote again in the same term.
+		n.votedFor = ""
+		return nil, err
+	}
+	n.resetElectionLocked(time.Now())
+	return &VoteResponse{Term: n.term, Granted: true}, nil
+}
+
+// HandleInstallSnapshot replaces the follower's journal and log with the
+// leader's snapshot plus tail.
+func (n *Node) HandleInstallSnapshot(req *InstallSnapshotRequest) (*InstallSnapshotResponse, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if req.Term < n.term {
+		resp := &InstallSnapshotResponse{Term: n.term}
+		n.mu.Unlock()
+		return resp, nil
+	}
+	if err := n.observeTermLocked(req.Term); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	if n.role != Follower {
+		n.becomeFollowerLocked()
+	}
+	n.leaderID = req.LeaderID
+	n.resetElectionLocked(time.Now())
+
+	if req.SnapSeq <= n.snapBase {
+		// Our own snapshot already covers the shipped base, so the
+		// committed prefix through our base is known-identical to the
+		// leader's log. Treat the shipped tail as a record stream
+		// anchored at our snapshot — the append core skips what we hold,
+		// truncates any divergent suffix, and appends the rest. (A blind
+		// "stale install" success here would falsely advertise a match
+		// while our tail still diverged.)
+		ar, kick, err := n.acceptEntriesLocked(n.snapBase, n.snapTerm, req.Entries, req.LeaderCommit)
+		n.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if kick {
+			n.kickApply()
+		}
+		return &InstallSnapshotResponse{Term: ar.Term, Success: ar.Success, LastSeq: ar.LastSeq}, nil
+	}
+	payload := snapPayload{Term: req.SnapTerm, State: req.State}
+	if err := n.cfg.Journal.InstallSnapshot(req.SnapSeq, payload); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	n.snapBase, n.snapTerm = req.SnapSeq, req.SnapTerm
+	n.snapData = append([]byte(nil), req.State...)
+	n.tail = nil
+	last := req.SnapSeq
+	for _, e := range req.Entries {
+		if e.Seq != last+1 {
+			break // leader shipped a gap; keep the consistent prefix
+		}
+		if err := n.appendEntryLocked(e); err != nil {
+			n.mu.Unlock()
+			return nil, err
+		}
+		last = e.Seq
+	}
+	n.commitIndex = max(req.SnapSeq, min(req.LeaderCommit, last))
+	n.lastApplied = req.SnapSeq
+	n.restoreBase = true
+	n.observeStateLocked()
+	resp := &InstallSnapshotResponse{Term: n.term, Success: true, LastSeq: last}
+	n.mu.Unlock()
+	n.countCatchupSnapshot()
+	n.kickApply()
+	return resp, nil
+}

@@ -1,0 +1,134 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport reaches one peer. Implementations must be safe for
+// concurrent use; errors are treated as the peer being unreachable (the
+// protocol retries via heartbeats).
+type Transport interface {
+	AppendEntries(ctx context.Context, req *AppendRequest) (*AppendResponse, error)
+	RequestVote(ctx context.Context, req *VoteRequest) (*VoteResponse, error)
+	InstallSnapshot(ctx context.Context, req *InstallSnapshotRequest) (*InstallSnapshotResponse, error)
+}
+
+// Replication RPC paths, mounted by Handler and exempted from the
+// server's write-redirect and recovering gates.
+const (
+	PathAppend   = "/repl/append"
+	PathVote     = "/repl/vote"
+	PathSnapshot = "/repl/snapshot"
+)
+
+// HTTPTransport speaks the /repl/* JSON protocol to one peer.
+type HTTPTransport struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTransport returns a transport for the peer at baseURL (e.g.
+// "http://10.0.0.2:8080"). A nil client gets a dedicated one with sane
+// timeouts.
+func NewHTTPTransport(baseURL string, client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &HTTPTransport{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+func (t *HTTPTransport) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	res, err := t.client.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return fmt.Errorf("replica: %s: %s: %s", path, res.Status, bytes.TrimSpace(data))
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+func (t *HTTPTransport) AppendEntries(ctx context.Context, req *AppendRequest) (*AppendResponse, error) {
+	var resp AppendResponse
+	if err := t.post(ctx, PathAppend, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) RequestVote(ctx context.Context, req *VoteRequest) (*VoteResponse, error) {
+	var resp VoteResponse
+	if err := t.post(ctx, PathVote, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) InstallSnapshot(ctx context.Context, req *InstallSnapshotRequest) (*InstallSnapshotResponse, error) {
+	var resp InstallSnapshotResponse
+	if err := t.post(ctx, PathSnapshot, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Handler serves the node's side of the /repl/* protocol.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	serve := func(path string, handle func(body []byte) (any, error)) {
+		mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resp, err := handle(body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(resp)
+		})
+	}
+	serve(PathAppend, func(body []byte) (any, error) {
+		var req AppendRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return n.HandleAppendEntries(&req)
+	})
+	serve(PathVote, func(body []byte) (any, error) {
+		var req VoteRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return n.HandleRequestVote(&req)
+	})
+	serve(PathSnapshot, func(body []byte) (any, error) {
+		var req InstallSnapshotRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return n.HandleInstallSnapshot(&req)
+	})
+	return mux
+}

@@ -27,7 +27,7 @@ const metricRecovery = "sparcle_recovery_seconds"
 // While recovery runs, the server answers mutating routes with 503 (see
 // middleware); GETs stay available.
 func (s *Server) EnableJournal(dir string, opt journal.Options, snapshotEvery int) error {
-	if s.router != nil {
+	if s.rt() != nil {
 		return s.enableShardJournal(dir, opt, snapshotEvery)
 	}
 	s.recovering.Store(true)
@@ -113,16 +113,22 @@ func (s *Server) EnableJournal(dir string, opt journal.Options, snapshotEvery in
 	return nil
 }
 
-// Close releases the server's journal, if any, flushing buffered appends.
+// Close stops the replication node (if any) and releases the server's
+// journal, flushing buffered appends. The node stops first: its apply
+// loop may still be writing journal records, and Stop waits for it.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.journal == nil {
+	node := s.replica
+	j := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	if node != nil {
+		node.Stop()
+	}
+	if j == nil {
 		return nil
 	}
-	err := s.journal.Close()
-	s.journal = nil
-	return err
+	return j.Close()
 }
 
 // Journal returns the server's journal, nil unless EnableJournal

@@ -23,8 +23,11 @@ func (s *Server) EnableGroupCommit(opt core.GroupOptions) {
 	if opt.Metrics == nil {
 		opt.Metrics = s.metrics
 	}
-	if s.router != nil {
-		s.router.EnableGroupCommit(opt)
+	s.mu.Lock()
+	s.groupOpt = &opt
+	s.mu.Unlock()
+	if rt := s.rt(); rt != nil {
+		rt.EnableGroupCommit(opt)
 		return
 	}
 	s.group = core.NewGroupCommitter(s.groupCommit, opt)
@@ -64,11 +67,11 @@ func (s *Server) groupCommit(apps []core.App, lead *obs.Span) ([]core.BatchResul
 // groupStats returns the /healthz view of group-commit activity, nil
 // when the feature is disabled.
 func (s *Server) groupStats() *core.GroupStats {
-	if s.router != nil {
-		if !s.router.GroupEnabled() {
+	if rt := s.rt(); rt != nil {
+		if !rt.GroupEnabled() {
 			return nil
 		}
-		st := s.router.GroupStats()
+		st := rt.GroupStats()
 		return &st
 	}
 	if s.group == nil {

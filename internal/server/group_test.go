@@ -203,3 +203,88 @@ func TestDecodeStrictPooled(t *testing.T) {
 		t.Fatalf("decodeStrict allocates %v per request, want the pooled-buffer constant (<= 24)", allocs)
 	}
 }
+
+// TestGroupCommitRemoveRepair: DELETE and repair ride the commit queue
+// when group commit is armed — they serialize against concurrent
+// admissions through the same path instead of a separate lock — and
+// their journal records replay to the same state.
+func TestGroupCommitRemoveRepair(t *testing.T) {
+	net := testNet(t)
+	dir := t.TempDir()
+	srv := New(net, core.WithRandSeed(5))
+	if err := srv.EnableJournal(dir, journal.Options{Fsync: journal.SyncAlways}, 0); err != nil {
+		t.Fatalf("EnableJournal: %v", err)
+	}
+	srv.EnableGroupCommit(core.GroupOptions{MaxSize: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Admit the residents up front (contended admission is covered by
+	// TestGroupCommitHTTP); the race under test is removes, repairs and
+	// fresh submits interleaving through one commit queue.
+	const n = 4
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("rr%d", i)
+		// Odd entries will be repaired, and repair targets guaranteed-rate.
+		spec := appJSON(name, "best-effort", `, "priority": 1`)
+		if i%2 == 1 {
+			spec = appJSON(name, "guaranteed-rate", `, "minRate": 0.1, "minRateAvailability": 0.5, "maxPaths": 2`)
+		}
+		if resp, b := do(t, http.MethodPost, ts.URL+"/apps", spec); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %s: %d %s", name, resp.StatusCode, b)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("rr%d", i)
+			if i%2 == 0 {
+				if resp, b := do(t, http.MethodDelete, ts.URL+"/apps/"+name, ""); resp.StatusCode != http.StatusOK {
+					t.Errorf("remove %s: %d %s", name, resp.StatusCode, b)
+				}
+			} else {
+				resp, b := do(t, http.MethodPost, ts.URL+"/apps/"+name+"/repair", "")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("repair %s: %d %s", name, resp.StatusCode, b)
+					return
+				}
+				var v appView
+				if err := json.Unmarshal(b, &v); err != nil || v.Name != name {
+					t.Errorf("repair %s view: %s (%v)", name, b, err)
+				}
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Fresh admissions race the removes/repairs through the same
+			// queue; either verdict is fine, only the interleaving matters.
+			resp, b := do(t, http.MethodPost, ts.URL+"/apps",
+				appJSON(fmt.Sprintf("extra%d", i), "best-effort", `, "priority": 1`))
+			if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+				t.Errorf("extra%d: %d %s", i, resp.StatusCode, b)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Misses still 404 through the queue.
+	if resp, _ := do(t, http.MethodDelete, ts.URL+"/apps/nope", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove miss: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodPost, ts.URL+"/apps/nope/repair", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("repair miss: %d, want 404", resp.StatusCode)
+	}
+
+	want := getApps(t, ts.URL)
+	ts.Close()
+
+	// The interleaved history replays to the same scheduler.
+	srv2, ts2 := journaledServer(t, net, dir, core.WithRandSeed(5))
+	defer srv2.Close()
+	if got := getApps(t, ts2.URL); got != want {
+		t.Fatalf("replayed remove/repair history diverged\nwant: %s\ngot:  %s", want, got)
+	}
+}

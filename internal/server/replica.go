@@ -1,0 +1,478 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparcle/internal/core"
+	"sparcle/internal/journal"
+	"sparcle/internal/network"
+	"sparcle/internal/replica"
+	"sparcle/internal/shard"
+)
+
+// Replication wiring. EnableReplication turns the server into one member
+// of a 3-node replicated control plane (internal/replica): every
+// mutating operation's journal record is proposed through the replica
+// node and acknowledged only after a quorum holds it, followers keep a
+// hot scheduler by applying committed records continuously, and the
+// middleware redirects writes to the leader (421 with a Location
+// header). The unsharded scheduler replicates its outcome records
+// directly; the sharded router replicates the same tagged envelopes it
+// journals, with followers buffering the envelope stream and
+// materializing a router on demand (shard.Rebuild is a batch operation —
+// its torn-operation reconcile pass must not run per record).
+
+// ReplicationConfig assembles EnableReplication.
+type ReplicationConfig struct {
+	// NodeID names this node; it must be a key of Peers.
+	NodeID string
+	// Peers maps every cluster node's ID — this node included — to the
+	// base URL of its HTTP API (e.g. "http://10.0.0.1:8080").
+	Peers map[string]string
+	// Dir is this node's journal directory.
+	Dir string
+	// Journal configures the node's write-ahead journal.
+	Journal journal.Options
+	// SnapshotEvery is the record count between journal snapshots
+	// (default 256; <0 disables periodic snapshots).
+	SnapshotEvery int
+	// Heartbeat and ElectionTimeout tune the leader lease (defaults
+	// 100ms and 10x the heartbeat).
+	Heartbeat       time.Duration
+	ElectionTimeout time.Duration
+	// Seed seeds the election jitter (0 = time-seeded).
+	Seed int64
+}
+
+// EnableReplication opens the node's journal and starts the replica.
+// It replaces EnableJournal — the replica node owns journal recovery —
+// and must run before the server takes traffic. The state machine
+// restore that Start performs rebuilds the scheduler (or buffers the
+// sharded envelope stream) exactly like journal recovery would, so a
+// restarted node resumes from its local log and then heals any
+// divergence against the current leader.
+func (s *Server) EnableReplication(cfg ReplicationConfig) error {
+	s.mu.Lock()
+	armed := s.journal != nil || s.replica != nil
+	s.mu.Unlock()
+	if armed {
+		return errors.New("server: replication and EnableJournal are mutually exclusive (the replica owns the journal)")
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return fmt.Errorf("server: replication peers must include this node (%q)", cfg.NodeID)
+	}
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
+	start := time.Now()
+
+	opt := cfg.Journal
+	if opt.Metrics == nil {
+		opt.Metrics = s.metrics
+	}
+	j, err := journal.Open(cfg.Dir, opt)
+	if err != nil {
+		return fmt.Errorf("open journal: %w", err)
+	}
+
+	var sm replica.StateMachine
+	if s.rt() != nil {
+		ssm := &shardReplSM{s: s}
+		s.replShard = ssm
+		sm = ssm
+	} else {
+		sm = &schedReplSM{s: s}
+	}
+
+	peers := make(map[string]replica.Transport, len(cfg.Peers)-1)
+	for id, url := range cfg.Peers {
+		if id != cfg.NodeID {
+			peers[id] = replica.NewHTTPTransport(url, nil)
+		}
+	}
+	// Mix the node ID into the election-jitter seed: operators naturally
+	// start every node with the same -seed, and identical jitter streams
+	// make candidates collide round after round (split votes, no leader).
+	seed := cfg.Seed
+	if seed != 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.NodeID))
+		seed ^= int64(h.Sum64())
+	}
+	node, err := replica.New(replica.Config{
+		ID:              cfg.NodeID,
+		Peers:           peers,
+		Journal:         j,
+		SM:              sm,
+		SnapshotEvery:   cfg.SnapshotEvery,
+		Heartbeat:       cfg.Heartbeat,
+		ElectionTimeout: cfg.ElectionTimeout,
+		Metrics:         s.metrics,
+		Seed:            seed,
+	})
+	if err != nil {
+		j.Close()
+		return err
+	}
+
+	// Publish before Start: the commit hooks armed during the state
+	// machine restore propose through s.replica.
+	s.mu.Lock()
+	s.journal = j
+	s.replica = node
+	s.replH = node.Handler()
+	s.replPeers = cfg.Peers
+	s.mu.Unlock()
+
+	if err := node.Start(); err != nil {
+		s.mu.Lock()
+		s.journal = nil
+		s.replica = nil
+		s.replH = nil
+		s.replShard = nil
+		s.mu.Unlock()
+		j.Close()
+		return fmt.Errorf("start replica: %w", err)
+	}
+	if rt := s.rt(); rt != nil {
+		// The live (genesis) router never goes through a materialize, so
+		// its envelope hook is armed here; materialized routers re-arm
+		// their own.
+		rt.SetEnvelopeHook(s.proposeEnvelope)
+	}
+
+	s.metrics.SetHelp(metricRecovery, "Duration of the last journal recovery in seconds.")
+	s.metrics.Gauge(metricRecovery).Set(time.Since(start).Seconds())
+	return nil
+}
+
+// Replica returns the server's replication node, nil unless
+// EnableReplication succeeded. Tests use it to observe roles and terms.
+func (s *Server) Replica() *replica.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replica
+}
+
+// handleRepl forwards a peer RPC to the replica node. The route exists
+// before EnableReplication runs (see Handler), so it resolves the node
+// per request; peers hitting a node whose replica is not up yet get a
+// 503 and retry on their next heartbeat.
+func (s *Server) handleRepl(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.replH
+	s.mu.Unlock()
+	if h == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "replication not enabled"})
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// proposeRecord is the unsharded scheduler's commit hook under
+// replication: the record is committed by quorum instead of a local
+// fsync alone (the local append inside Propose still honors the fsync
+// policy). On failure the local scheduler has applied an operation the
+// log did not commit, so the state machine is reset to the committed
+// prefix before the error (wrapped in ErrDurability upstream) fails the
+// request.
+func (s *Server) proposeRecord(rec *core.Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.replica.Propose(data); err != nil {
+		s.replica.ForceRestore()
+		return err
+	}
+	return nil
+}
+
+// proposeEnvelope is the sharded router's envelope hook under
+// replication; failure semantics mirror proposeRecord (the router is
+// rebuilt from the committed stream at the next materialize, which the
+// write gate forces before the next write).
+func (s *Server) proposeEnvelope(env *shard.Envelope) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if err := s.replica.Propose(data); err != nil {
+		s.replica.ForceRestore()
+		return err
+	}
+	return nil
+}
+
+// replicaWriteGate admits a mutating request only on a ready leader
+// whose state machine has caught up with its log; otherwise it answers
+// 421 (follower, leader known — with a Location header pointing at the
+// leader) or 503 (no leader yet / leader still settling). Returns true
+// when the request may proceed.
+func (s *Server) replicaWriteGate(w http.ResponseWriter, r *http.Request) bool {
+	n := s.replica
+	if n == nil {
+		return true
+	}
+	st := n.Status()
+	switch {
+	case st.Role == "leader" && st.Ready && st.LastApplied == st.LastSeq:
+		if s.replShard != nil {
+			// A freshly promoted shard leader materializes its buffered
+			// envelope stream into a live router before the first write.
+			if err := s.replShard.ensureFresh(); err != nil {
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: fmt.Sprintf("materialize replicated state: %v", err)})
+				return false
+			}
+		}
+		return true
+	case st.Role == "leader":
+		// Term barrier still committing, or a failed propose reset the
+		// state machine and the committed tail is still re-applying.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "leader not ready; retry shortly"})
+		return false
+	default:
+		url := s.replPeers[st.Leader]
+		if url == "" {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no leader elected yet; retry shortly"})
+			return false
+		}
+		w.Header().Set("Location", url+r.URL.RequestURI())
+		writeJSON(w, http.StatusMisdirectedRequest, redirectResponse{
+			Error:  "not the leader",
+			Leader: st.Leader,
+			URL:    url,
+		})
+		return false
+	}
+}
+
+// redirectResponse is the 421 body a follower answers writes with.
+type redirectResponse struct {
+	Error string `json:"error"`
+	// Leader is the leader's node ID; URL its base address. The Location
+	// header carries the full redirect target.
+	Leader string `json:"leader"`
+	URL    string `json:"leaderUrl"`
+}
+
+// replicationHealth is the /healthz replication section: the node's
+// Status plus the leader's base URL for clients that follow redirects.
+type replicationHealth struct {
+	replica.Status
+	LeaderURL string `json:"leaderUrl,omitempty"`
+}
+
+func (s *Server) replicationHealth() *replicationHealth {
+	s.mu.Lock()
+	n, peers := s.replica, s.replPeers
+	s.mu.Unlock()
+	if n == nil {
+		return nil
+	}
+	st := n.Status()
+	return &replicationHealth{Status: st, LeaderURL: peers[st.Leader]}
+}
+
+// --- unsharded state machine ---
+
+// schedReplSM replicates the unsharded scheduler: committed records
+// apply through core.ApplyCommitted under the server lock, snapshots are
+// core.Snapshot exports, and a restore rebuilds the scheduler exactly
+// like journal recovery (then re-arms the propose hook on the rebuilt
+// instance).
+type schedReplSM struct{ s *Server }
+
+func (m *schedReplSM) Apply(data []byte) error {
+	rec := &core.Record{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return fmt.Errorf("decode replicated record: %w", err)
+	}
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	return m.s.sched.ApplyCommitted(rec)
+}
+
+func (m *schedReplSM) SnapshotWith(write func(state []byte) error) error {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	snap, err := m.s.sched.ExportSnapshot()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	return write(data)
+}
+
+func (m *schedReplSM) Restore(snapBytes []byte, entries [][]byte) error {
+	var snap *core.Snapshot
+	if len(snapBytes) > 0 {
+		snap = &core.Snapshot{}
+		if err := json.Unmarshal(snapBytes, snap); err != nil {
+			return fmt.Errorf("decode replicated snapshot: %w", err)
+		}
+	}
+	recs := make([]*core.Record, len(entries))
+	for i := range entries {
+		recs[i] = &core.Record{}
+		if err := json.Unmarshal(entries[i], recs[i]); err != nil {
+			return fmt.Errorf("decode replicated record %d: %w", i, err)
+		}
+	}
+	s := m.s
+	s.mu.Lock()
+	opts := s.opts
+	s.mu.Unlock()
+	// Rebuild off-lock (it reads only the immutable network and the
+	// decoded log), then swap under it.
+	rebuilt, err := core.Rebuild(s.net, snap, recs, opts...)
+	if err != nil {
+		return fmt.Errorf("rebuild scheduler: %w", err)
+	}
+	s.mu.Lock()
+	rebuilt.SetCommitHook(s.proposeRecord)
+	s.sched = rebuilt
+	s.mu.Unlock()
+	return nil
+}
+
+// --- sharded state machine ---
+
+// shardReplSM replicates the sharded router as its envelope stream.
+// shard.Rebuild reconciles torn cross-region operations as a final
+// batch pass, so committed envelopes cannot be folded into a live
+// router one at a time; instead the follower buffers (snapshot, tail)
+// and materializes a router from the buffer when one is needed — at
+// snapshot cadence, and before a freshly promoted leader's first write.
+// On the steady-state leader the live router is the source of truth
+// (proposals mutate it directly before they are proposed) and the
+// buffer stays clean.
+type shardReplSM struct {
+	s *Server
+
+	mu sync.Mutex
+	// snap and envs are the committed state as bytes: the newest
+	// state-machine snapshot and every applied envelope after it.
+	snap []byte
+	envs [][]byte
+	// dirty marks buffered state the live router does not reflect yet.
+	dirty bool
+}
+
+func (m *shardReplSM) Apply(data []byte) error {
+	m.mu.Lock()
+	m.envs = append(m.envs, append([]byte(nil), data...))
+	m.dirty = true
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *shardReplSM) SnapshotWith(write func(state []byte) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Holding m.mu blocks Apply, freezing the node's applied index for
+	// the duration; materializing first makes the live router cover the
+	// whole buffer, and the router's own SnapshotWith holds every shard
+	// lock across export and write.
+	if err := m.materializeLocked(); err != nil {
+		return err
+	}
+	var data []byte
+	err := m.s.rt().SnapshotWith(func(snap *shard.RouterSnapshot) error {
+		d, err := json.Marshal(snap)
+		if err != nil {
+			return err
+		}
+		data = d
+		return write(d)
+	})
+	if err != nil {
+		return err
+	}
+	m.snap = data
+	m.envs = m.envs[:0]
+	return nil
+}
+
+func (m *shardReplSM) Restore(snap []byte, entries [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(snap) == 0 && len(entries) == 0 {
+		// Genesis: the live router already is the initial state.
+		m.snap, m.envs, m.dirty = nil, nil, false
+		return nil
+	}
+	m.snap = append([]byte(nil), snap...)
+	m.envs = m.envs[:0]
+	for _, e := range entries {
+		m.envs = append(m.envs, append([]byte(nil), e...))
+	}
+	m.dirty = true
+	return nil
+}
+
+// ensureFresh materializes the buffered committed state into the live
+// router if anything changed since the last materialize.
+func (m *shardReplSM) ensureFresh() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.materializeLocked()
+}
+
+// materializeLocked rebuilds the router from the buffered snapshot +
+// envelope tail and swaps it in, re-arming spans, the envelope hook and
+// group commit on the rebuilt instance. The buffer is kept (it still
+// mirrors the committed log); only SnapshotWith resets it.
+func (m *shardReplSM) materializeLocked() error {
+	if !m.dirty {
+		return nil
+	}
+	s := m.s
+	var snap *shard.RouterSnapshot
+	if len(m.snap) > 0 {
+		snap = &shard.RouterSnapshot{}
+		if err := json.Unmarshal(m.snap, snap); err != nil {
+			return fmt.Errorf("decode replicated router snapshot: %w", err)
+		}
+	}
+	envs := make([]*shard.Envelope, len(m.envs))
+	for i := range m.envs {
+		envs[i] = &shard.Envelope{}
+		if err := json.Unmarshal(m.envs[i], envs[i]); err != nil {
+			return fmt.Errorf("decode replicated envelope %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	opts := s.opts
+	spans := s.spans
+	groupOpt := s.groupOpt
+	s.mu.Unlock()
+	rebuilt, err := shard.Rebuild(s.net, s.shards, snap, envs,
+		func(sub *network.Network, region int, ss *core.Snapshot, rs []*core.Record) (core.Control, error) {
+			return core.Rebuild(sub, ss, rs, opts...)
+		})
+	if err != nil {
+		return fmt.Errorf("rebuild sharded scheduler: %w", err)
+	}
+	if spans != nil {
+		rebuilt.SetSpans(spans)
+	}
+	rebuilt.SetEnvelopeHook(s.proposeEnvelope)
+	if groupOpt != nil {
+		rebuilt.EnableGroupCommit(*groupOpt)
+	}
+	s.router.Store(rebuilt)
+	m.dirty = false
+	return nil
+}

@@ -38,6 +38,7 @@ import (
 	"sparcle/internal/network"
 	"sparcle/internal/obs"
 	"sparcle/internal/placement"
+	"sparcle/internal/replica"
 	"sparcle/internal/scenario"
 	"sparcle/internal/shard"
 	"sparcle/internal/taskgraph"
@@ -69,17 +70,40 @@ type Server struct {
 	// the group-commit queue (group.go). In shard mode it stays nil and
 	// the router carries one committer per shard instead.
 	group *core.GroupCommitter
+	// groupOpt records the group-commit configuration so a replicated
+	// follower that materializes a fresh router can re-arm it (replica.go).
+	groupOpt *core.GroupOptions
 
 	// router is non-nil in shard mode (NewSharded): requests then route
 	// through the region-sharded admission router instead of sched, and
 	// mu no longer serializes scheduler work — each shard carries its own
-	// lock (shard.go).
-	router *shard.Router
+	// lock (shard.go). It is an atomic pointer because a replicated
+	// follower rebuilds and swaps the router at runtime when it
+	// materializes buffered envelopes (replica.go); read it through rt().
+	router atomic.Pointer[shard.Router]
 	// shards is the region count the router was built with.
 	shards int
 	// snapshotting dedups the asynchronous shard-mode journal snapshots.
 	snapshotting atomic.Bool
+
+	// replica is non-nil once EnableReplication armed the 3-node
+	// replicated control plane; replH serves its peer RPCs, replPeers
+	// maps node IDs to base URLs for the follower-redirect Location
+	// header, and replShard buffers the envelope stream in shard mode
+	// (replica.go). All are written once under mu before the recovering
+	// gate drops, so the write gate's unlocked reads are ordered after
+	// them.
+	replica   *replica.Node
+	replH     http.Handler
+	replPeers map[string]string
+	replShard *shardReplSM
 }
+
+// rt returns the admission router, nil outside shard mode. Handlers load
+// it once per request: a replicated follower may swap in a freshly
+// materialized router at any moment, and mixing two routers inside one
+// request would cross state generations.
+func (s *Server) rt() *shard.Router { return s.router.Load() }
 
 // New returns a Server scheduling onto net. The server always carries a
 // metrics registry (exposed on /metrics and via Metrics); the scheduler is
@@ -121,6 +145,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /apps/{name}", s.handleRemove)
 	mux.HandleFunc("POST /apps/{name}/repair", s.handleRepair)
 	mux.HandleFunc("POST /fluctuation", s.handleFluctuation)
+	// Replication RPCs (append, vote, snapshot install) between peers.
+	// Mounted unconditionally and dispatched lazily: peer URLs are only
+	// known once every listener is bound, so EnableReplication runs after
+	// Handler during cluster bootstrap.
+	mux.HandleFunc("POST /repl/", s.handleRepl)
 	return s.middleware(mux)
 }
 
@@ -146,12 +175,19 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		}()
 		s.requests.Add(1)
 		s.metrics.Counter("sparcle_http_requests_total", obs.L("method", r.Method)).Inc()
-		if r.Method != http.MethodGet && s.recovering.Load() {
-			// Journal recovery is rebuilding the scheduler; nothing may
-			// mutate (or journal) until the rebuilt state is live.
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "recovering from journal; retry shortly"})
-			return
+		if r.Method != http.MethodGet && !strings.HasPrefix(r.URL.Path, "/repl/") {
+			// Replication RPCs are exempt from both gates: they must flow
+			// on followers and during recovery or the cluster cannot heal.
+			if s.recovering.Load() {
+				// Journal recovery is rebuilding the scheduler; nothing may
+				// mutate (or journal) until the rebuilt state is live.
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "recovering from journal; retry shortly"})
+				return
+			}
+			if !s.replicaWriteGate(w, r) {
+				return
+			}
 		}
 		next.ServeHTTP(w, r)
 	})
@@ -170,6 +206,9 @@ type healthzResponse struct {
 	// GroupCommit is present when -group-commit is enabled: groups
 	// committed, followers coalesced, apps admitted through the queue.
 	GroupCommit *core.GroupStats `json:"groupCommit,omitempty"`
+	// Replication is present when -replicate is enabled: this node's
+	// role, term, commit index and the current leader.
+	Replication *replicationHealth `json:"replication,omitempty"`
 }
 
 // journalHealth is the durability section of /healthz: whether a
@@ -196,8 +235,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j := s.journal
 	s.mu.Unlock()
-	if s.router != nil {
-		st := s.router.Stats()
+	if rt := s.rt(); rt != nil {
+		st := rt.Stats()
 		sharding = &st
 		gr, be := 0, 0
 		for _, sh := range st.Shards {
@@ -232,12 +271,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Journal:       jh,
 		Sharding:      sharding,
 		GroupCommit:   s.groupStats(),
+		Replication:   s.replicationHealth(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The registry is concurrency safe on its own: no mu here.
-	if s.router != nil {
+	if s.rt() != nil {
 		s.updateShardMetrics()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -315,7 +355,7 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {
-	if s.router != nil {
+	if s.rt() != nil {
 		s.shardListApps(w, r)
 		return
 	}
@@ -354,7 +394,7 @@ func appViewOn(netw *network.Network, pa *core.PlacedApp) appView {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.router != nil {
+	if s.rt() != nil {
 		s.shardSubmit(w, r)
 		return
 	}
@@ -454,7 +494,7 @@ type batchResponse struct {
 // input. Only a durability failure (journal append lost) or a whole-batch
 // allocation failure changes the status.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
-	if s.router != nil {
+	if s.rt() != nil {
 		s.shardSubmitBatch(w, r)
 		return
 	}
@@ -533,7 +573,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	if s.router != nil {
+	if s.rt() != nil {
 		s.shardRemove(w, r)
 		return
 	}
@@ -541,8 +581,22 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	root := s.spans.Start("http.remove")
 	defer root.End()
 	root.SetAttr("app", name)
-	defer s.lockWithSpan(root)()
-	if err := s.sched.Remove(name); err != nil {
+	var err error
+	if s.group != nil {
+		// With group commit on, removes ride the same queue as
+		// admissions: the operation serializes behind in-flight groups
+		// and takes the scheduler lock exactly once, through the same
+		// path — no second lock discipline on the side.
+		_, err = s.group.Exec(func(sp *obs.Span) ([]core.BatchResult, error) {
+			defer s.lockWithSpan(sp)()
+			return nil, s.sched.Remove(name)
+		}, root)
+	} else {
+		unlock := s.lockWithSpan(root)
+		err = s.sched.Remove(name)
+		unlock()
+	}
+	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrNotFound) {
 			status = http.StatusNotFound
@@ -554,7 +608,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
-	if s.router != nil {
+	if s.rt() != nil {
 		s.shardRepair(w, r)
 		return
 	}
@@ -562,8 +616,28 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	root := s.spans.Start("http.repair")
 	defer root.End()
 	root.SetAttr("app", name)
-	defer s.lockWithSpan(root)()
-	pa, err := s.sched.Repair(name)
+	var pa *core.PlacedApp
+	var err error
+	if s.group != nil {
+		// Same uniform lock path as removes: one queue entry, one lock
+		// acquisition, ordered against concurrent admission groups.
+		var results []core.BatchResult
+		results, err = s.group.Exec(func(sp *obs.Span) ([]core.BatchResult, error) {
+			defer s.lockWithSpan(sp)()
+			re, rerr := s.sched.Repair(name)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return []core.BatchResult{{Name: name, App: re}}, nil
+		}, root)
+		if err == nil && len(results) == 1 {
+			pa = results[0].App
+		}
+	} else {
+		unlock := s.lockWithSpan(root)
+		pa, err = s.sched.Repair(name)
+		unlock()
+	}
 	if err != nil {
 		var status int
 		switch {
@@ -577,7 +651,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.appView(pa))
+	s.mu.Lock()
+	view := s.appView(pa)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
 }
 
 // fluctuationRequest scales element capacities; keys are "ncp:<name>" or
@@ -592,7 +669,7 @@ type fluctuationResponse struct {
 }
 
 func (s *Server) handleFluctuation(w http.ResponseWriter, r *http.Request) {
-	if s.router != nil {
+	if s.rt() != nil {
 		s.shardFluctuation(w, r)
 		return
 	}
@@ -689,8 +766,8 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func (s *Server) SubmitAll(apps []core.App, out io.Writer) error {
 	var results []core.BatchResult
 	var err error
-	if s.router != nil {
-		results, err = s.router.SubmitBatch(apps, nil)
+	if rt := s.rt(); rt != nil {
+		results, err = rt.SubmitBatch(apps, nil)
 	} else {
 		s.mu.Lock()
 		defer s.mu.Unlock()

@@ -43,9 +43,9 @@ func NewSharded(netw *network.Network, shards int, opts ...core.Option) (*Server
 		net:     netw,
 		metrics: reg,
 		opts:    opts,
-		router:  router,
 		shards:  shards,
 	}
+	s.router.Store(router)
 	s.start = time.Now()
 	s.metricsHelp()
 	return s, nil
@@ -53,7 +53,7 @@ func NewSharded(netw *network.Network, shards int, opts ...core.Option) (*Server
 
 // Router returns the admission router, nil unless the server was built
 // with NewSharded. Tests use it to reach individual shards.
-func (s *Server) Router() *shard.Router { return s.router }
+func (s *Server) Router() *shard.Router { return s.rt() }
 
 func (s *Server) metricsHelp() {
 	s.metrics.SetHelp("sparcle_shard_apps", "Admitted applications per shard and class.")
@@ -68,7 +68,7 @@ func (s *Server) metricsHelp() {
 // series are exact at observation time rather than maintained inline on
 // the admission path.
 func (s *Server) updateShardMetrics() {
-	st := s.router.Stats()
+	st := s.rt().Stats()
 	for _, sh := range st.Shards {
 		l := obs.L("shard", strconv.Itoa(sh.Region))
 		s.metrics.Gauge("sparcle_shard_apps", l, obs.L("class", core.GuaranteedRate.String())).Set(float64(sh.GRApps))
@@ -101,10 +101,10 @@ type crossView struct {
 }
 
 // shardView renders an admission Result.
-func (s *Server) shardView(res *shard.Result) shardAppView {
+func (s *Server) shardView(rt *shard.Router, res *shard.Result) shardAppView {
 	if res.Cross == nil {
 		return shardAppView{
-			appView: appViewOn(s.router.Region(res.Shard).View.Net, res.App),
+			appView: appViewOn(rt.Region(res.Shard).View.Net, res.App),
 			Shard:   res.Shard,
 		}
 	}
@@ -123,8 +123,8 @@ func (s *Server) shardView(res *shard.Result) shardAppView {
 			Bits:       c.Bits,
 			Rate:       c.Rate,
 			Halves: [2]appView{
-				appViewOn(s.router.Region(c.A).View.Net, c.HalfA),
-				appViewOn(s.router.Region(c.B).View.Net, c.HalfB),
+				appViewOn(rt.Region(c.A).View.Net, c.HalfA),
+				appViewOn(rt.Region(c.B).View.Net, c.HalfB),
 			},
 		},
 	}
@@ -143,8 +143,9 @@ func shardErrStatus(err error) int {
 
 func (s *Server) shardListApps(w http.ResponseWriter, r *http.Request) {
 	apps := []shardAppView{}
-	for i, shardApps := range s.router.AppsByShard(nil) {
-		netw := s.router.Region(i).View.Net
+	rt := s.rt()
+	for i, shardApps := range rt.AppsByShard(nil) {
+		netw := rt.Region(i).View.Net
 		for _, pa := range shardApps {
 			apps = append(apps, shardAppView{appView: appViewOn(netw, pa), Shard: i})
 		}
@@ -175,7 +176,8 @@ func (s *Server) shardSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// No global lock: the router claims the name and locks only the
 	// shards the app touches. Duplicate names come back as ErrRejected.
-	res, err := s.router.Submit(app, root)
+	rt := s.rt()
+	res, err := rt.Submit(app, root)
 	if err != nil {
 		root.SetAttr("outcome", "rejected")
 		writeJSON(w, shardErrStatus(err), errorResponse{Error: err.Error()})
@@ -183,7 +185,7 @@ func (s *Server) shardSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	root.SetAttr("outcome", "admitted")
 	root.SetInt("shard", int64(res.Shard))
-	writeJSON(w, http.StatusCreated, s.shardView(res))
+	writeJSON(w, http.StatusCreated, s.shardView(rt, res))
 }
 
 // shardSubmitBatch mirrors handleSubmitBatch with one semantic
@@ -216,7 +218,8 @@ func (s *Server) shardSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		apps = append(apps, app)
 		appIdx = append(appIdx, i)
 	}
-	results, err := s.router.SubmitBatch(apps, root)
+	rt := s.rt()
+	results, err := rt.SubmitBatch(apps, root)
 	for j, res := range results {
 		v := &verdicts[appIdx[j]]
 		if res.Err != nil {
@@ -224,7 +227,7 @@ func (s *Server) shardSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		v.Admitted = true
-		view := s.batchAppView(res.App)
+		view := s.batchAppView(rt, res.App)
 		v.App = &view
 	}
 	resp := batchResponse{Verdicts: verdicts}
@@ -244,7 +247,7 @@ func (s *Server) shardSubmitBatch(w http.ResponseWriter, r *http.Request) {
 // reports intra apps with their shard's placement and cross apps as the
 // logical view (paths live region-locally in the halves); either way
 // the placement's own network is found through the router's registry.
-func (s *Server) batchAppView(pa *core.PlacedApp) appView {
+func (s *Server) batchAppView(rt *shard.Router, pa *core.PlacedApp) appView {
 	if len(pa.Paths) == 0 {
 		// Logical cross-region view: no region-local paths to render.
 		return appView{
@@ -255,8 +258,8 @@ func (s *Server) batchAppView(pa *core.PlacedApp) appView {
 		}
 	}
 	netw := s.net
-	if i, ok := s.router.ShardOf(pa.App.Name); ok {
-		netw = s.router.Region(i).View.Net
+	if i, ok := rt.ShardOf(pa.App.Name); ok {
+		netw = rt.Region(i).View.Net
 	}
 	return appViewOn(netw, pa)
 }
@@ -266,7 +269,7 @@ func (s *Server) shardRemove(w http.ResponseWriter, r *http.Request) {
 	root := s.spans.Start("http.remove")
 	defer root.End()
 	root.SetAttr("app", name)
-	if err := s.router.Remove(name, root); err != nil {
+	if err := s.rt().Remove(name, root); err != nil {
 		writeJSON(w, shardErrStatus(err), errorResponse{Error: err.Error()})
 		return
 	}
@@ -278,12 +281,13 @@ func (s *Server) shardRepair(w http.ResponseWriter, r *http.Request) {
 	root := s.spans.Start("http.repair")
 	defer root.End()
 	root.SetAttr("app", name)
-	res, err := s.router.Repair(name, root)
+	rt := s.rt()
+	res, err := rt.Repair(name, root)
 	if err != nil {
 		writeJSON(w, shardErrStatus(err), errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.shardView(res))
+	writeJSON(w, http.StatusOK, s.shardView(rt, res))
 }
 
 func (s *Server) shardFluctuation(w http.ResponseWriter, r *http.Request) {
@@ -308,7 +312,7 @@ func (s *Server) shardFluctuation(w http.ResponseWriter, r *http.Request) {
 		}
 		scale[elem] = factor
 	}
-	rep, err := s.router.ApplyFluctuation(scale, root)
+	rep, err := s.rt().ApplyFluctuation(scale, root)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, core.ErrDurability) {

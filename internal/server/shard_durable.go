@@ -43,7 +43,7 @@ func (s *Server) enableShardJournal(dir string, opt journal.Options, snapshotEve
 	if snapBytes == nil && len(recs) == 0 {
 		// Fresh journal: pin the initial state of every shard (seeds
 		// included) before the first operation can be acknowledged.
-		if err := s.router.SnapshotWith(func(snap *shard.RouterSnapshot) error {
+		if err := s.rt().SnapshotWith(func(snap *shard.RouterSnapshot) error {
 			return j.WriteSnapshot(snap)
 		}); err != nil {
 			j.Close()
@@ -77,7 +77,7 @@ func (s *Server) enableShardJournal(dir string, opt journal.Options, snapshotEve
 		if s.spans != nil {
 			rebuilt.SetSpans(s.spans)
 		}
-		s.router = rebuilt
+		s.router.Store(rebuilt)
 	}
 
 	s.journal = j
@@ -89,7 +89,7 @@ func (s *Server) enableShardJournal(dir string, opt journal.Options, snapshotEve
 	// and a background goroutine writes the snapshot via SnapshotWith,
 	// which holds all locks across export AND write so no record can
 	// land in between and be skipped by a later replay.
-	s.router.SetEnvelopeHook(func(env *shard.Envelope) error {
+	s.rt().SetEnvelopeHook(func(env *shard.Envelope) error {
 		if _, err := j.Append("op", env); err != nil {
 			return err
 		}
@@ -110,7 +110,7 @@ func (s *Server) enableShardJournal(dir string, opt journal.Options, snapshotEve
 // every record, so recovery just replays a longer tail.
 func (s *Server) writeShardSnapshot(j *journal.Journal) {
 	defer s.snapshotting.Store(false)
-	err := s.router.SnapshotWith(func(snap *shard.RouterSnapshot) error {
+	err := s.rt().SnapshotWith(func(snap *shard.RouterSnapshot) error {
 		return j.WriteSnapshot(snap)
 	})
 	if err != nil {

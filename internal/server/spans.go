@@ -27,11 +27,11 @@ func (s *Server) EnableSpans(st *obs.SpanTracer) {
 	defer s.mu.Unlock()
 	s.spans = st
 	s.opts = append(s.opts, core.WithSpans(st))
-	if s.router != nil {
+	if rt := s.rt(); rt != nil {
 		// Shard mode: the router parents per-shard lock.wait spans under
 		// the request root and arms every shard scheduler's operation
 		// spans; a journal rebuild re-arms through the recorded options.
-		s.router.SetSpans(st)
+		rt.SetSpans(st)
 		return
 	}
 	s.sched.SetSpans(st)

@@ -19,6 +19,15 @@
 #   6. mesh16, journal + group commit, rate=2000 — run 5 over a
 #      fsync-per-commit write-ahead journal; the journal.fsync stage
 #      count amortizes below one per admission (one fsync per group).
+#   7. mesh16, 3-node replication, rate=2000 — the journaled overload
+#      against a replicated cluster: every admission is quorum-acked
+#      across three nodes, and the load generator is pointed at node 0
+#      regardless of who leads so the 421-redirect/retry path is on the
+#      measured path.
+#   8. mesh16, 3-node replication + group commit, rate=2000 — run 7 with
+#      the group-commit front end: each batch is one replicated record,
+#      so the quorum round-trip and both fsyncs amortize across the
+#      group and admissions/sec should clearly beat run 7.
 #
 # A closed-loop contention sweep (sparcle-load -concurrency 1,8,64,256)
 # then runs against the grouped server, appending one labelled rung per
@@ -69,6 +78,57 @@ run "mesh16 single rate=2000"     testdata/mesh16.json     2000
 run "mesh16 shards=4 rate=2000"   testdata/mesh16.json     2000 -shards 4
 run "mesh16 group rate=2000"      testdata/mesh16.json     2000 -group-commit
 run "mesh16 journal+group rate=2000" testdata/mesh16.json  2000 -journal "$work/journal" -group-commit
+
+# 3-node replicated cluster: one journaled server per node, admissions
+# acked by quorum. Ports must be known before any node starts (the
+# -peers map is fixed), so probe for free ones instead of binding :0.
+find_port() {
+    local p
+    while :; do
+        p=$((10000 + RANDOM % 50000))
+        if ! (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+            echo "$p"
+            return
+        fi
+        exec 3>&- || true
+    done
+}
+run_cluster() { # args: label [extra server flags...]
+    local label=$1
+    shift
+    rm -rf "$work"/repl-j*
+    local rports=("$(find_port)" "$(find_port)" "$(find_port)")
+    local rpeers="n0=http://127.0.0.1:${rports[0]},n1=http://127.0.0.1:${rports[1]},n2=http://127.0.0.1:${rports[2]}"
+    local rpids=()
+    local i p ready
+    for i in 0 1 2; do
+        "$work/sparcle-server" -f testdata/mesh16.json -addr "127.0.0.1:${rports[$i]}" -spans \
+            -journal "$work/repl-j$i" -replicate "n$i" -peers "$rpeers" "$@" \
+            > "$work/repl-n$i.log" 2>&1 &
+        rpids+=($!)
+        disown $!
+    done
+    ready=""
+    for _ in $(seq 1 100); do
+        for p in "${rports[@]}"; do
+            if curl -fsS --max-time 2 "http://127.0.0.1:$p/healthz" 2>/dev/null \
+                | grep -q '"role":"leader","term":[0-9]*,.*"ready":true'; then
+                ready=1
+                break 2
+            fi
+        done
+        sleep 0.1
+    done
+    [ -n "$ready" ] || { echo "replicated cluster never elected a leader"; cat "$work"/repl-n*.log; exit 1; }
+    echo "== $label"
+    # Aim the generator at node 0 regardless of who leads: the follower
+    # redirect (421) and election retries are part of what is measured.
+    "$work/sparcle-load" -addr "127.0.0.1:${rports[0]}" -rate 2000 -duration "$duration" \
+        -seed "$seed" -keep 16 -out "$out" -append -label "$label" | grep offered
+    kill "${rpids[@]}" 2>/dev/null || true
+}
+run_cluster "mesh16 repl3 rate=2000"
+run_cluster "mesh16 repl3+group rate=2000" -group-commit
 
 # Closed-loop contention sweep against a grouped server: the in-flight
 # count is the controlled variable, one rung per level.
