@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -679,6 +680,9 @@ const (
 	// baseBackoff is the first retry delay; it doubles per attempt with
 	// full jitter so synchronized workers fan back out.
 	baseBackoff = 50 * time.Millisecond
+	// maxBackoff caps the doubling: a long election or restart should
+	// not push sleeps past a couple of seconds per attempt.
+	maxBackoff = 2 * time.Second
 )
 
 // post sends body to path on the target with bounded retries: 503s and
@@ -692,12 +696,21 @@ func post(client *http.Client, tgt *target, path string, body []byte) (int, erro
 
 func do(client *http.Client, tgt *target, method, path string, body []byte) (int, error) {
 	backoff := baseBackoff
+	var retryAfter time.Duration
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
-			// Full jitter: anywhere in (0, backoff], then double.
-			time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + time.Millisecond)
-			backoff *= 2
+			if retryAfter > 0 {
+				// The server told us when to come back; believe it over
+				// our own schedule (still capped).
+				time.Sleep(min(retryAfter, maxBackoff))
+			} else {
+				// Full jitter: anywhere in (0, backoff], then double,
+				// capped so a long outage doesn't strand the worker.
+				time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + time.Millisecond)
+			}
+			retryAfter = 0
+			backoff = min(backoff*2, maxBackoff)
 		}
 		var rd io.Reader
 		if body != nil {
@@ -729,6 +742,11 @@ func do(client *http.Client, tgt *target, method, path string, body []byte) (int
 			}
 			lastErr = fmt.Errorf("%s %s: redirected off a follower", method, path)
 		case http.StatusServiceUnavailable:
+			// Honor Retry-After (integer seconds) when the server sent
+			// one — admission gates use it to pace retries.
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
 			lastErr = fmt.Errorf("%s %s: 503 service unavailable", method, path)
 		default:
 			return resp.StatusCode, nil

@@ -26,7 +26,13 @@
 // a quorum holds it, followers keep a hot scheduler by applying the
 // committed stream continuously, and a write sent to a follower answers
 // 421 with a Location header pointing at the leader (see
-// docs/replication.md). With -spans (implied by any -spans-* flag), every
+// docs/replication.md). With -join URL (requires -replicate; -peers then
+// only needs this node's own id=url), the node boots with an empty
+// membership and registers itself with the live cluster at URL: the
+// leader admits it as a non-voting learner, catches it up — via snapshot
+// install when it is far behind — and promotes it to voter; POST
+// /repl/members also adds, promotes and removes members directly. With
+// -spans (implied by any -spans-* flag), every
 // admission-path stage is timed as a hierarchical span: -spans-chrome
 // streams a Perfetto-loadable trace, -spans-jsonl streams raw records,
 // and the in-memory flight recorder serves GET /debug/flight and dumps to
@@ -52,6 +58,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -99,6 +106,62 @@ func parsePeers(s string) (map[string]string, error) {
 	return peers, nil
 }
 
+// registerWithCluster asks a live cluster node to admit this one as a
+// new member, retrying with capped backoff and following leader
+// redirects until the add is acknowledged (idempotent on the leader, so
+// retries across leader changes are safe) or ctx ends.
+func registerWithCluster(ctx context.Context, joinURL, selfID, selfURL string) {
+	body := fmt.Sprintf(`{"action":"add","id":%q,"url":%q}`, selfID, selfURL)
+	target := strings.TrimSuffix(joinURL, "/") + "/repl/members"
+	backoff := 200 * time.Millisecond
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, strings.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparcle-server: join request: %v\n", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				fmt.Fprintf(os.Stderr, "sparcle-server: joined cluster as %q via %s\n", selfID, target)
+				return
+			case http.StatusMisdirectedRequest:
+				// Follow the redirect to the leader and retry immediately.
+				if loc := resp.Header.Get("Location"); loc != "" {
+					target = loc
+					continue
+				}
+				var redir struct {
+					URL string `json:"leaderUrl"`
+				}
+				if json.Unmarshal(rb, &redir) == nil && redir.URL != "" {
+					target = strings.TrimSuffix(redir.URL, "/") + "/repl/members"
+					continue
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "sparcle-server: join via %s: %d %s (retrying)\n", target, resp.StatusCode, strings.TrimSpace(string(rb)))
+			}
+		} else if ctx.Err() != nil {
+			return
+		} else {
+			fmt.Fprintf(os.Stderr, "sparcle-server: join via %s: %v (retrying)\n", target, err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
+
 // run starts the server; if ready is non-nil the bound address is sent on
 // it once listening (used by tests).
 func run(args []string, out io.Writer, ready chan<- string) error {
@@ -131,11 +194,15 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	peersFlag := fs.String("peers", "", "comma-separated id=url pairs naming every cluster node, this one included (with -replicate)")
 	replHeartbeat := fs.Duration("repl-heartbeat", 100*time.Millisecond, "leader heartbeat period (with -replicate)")
 	replElection := fs.Duration("repl-election-timeout", 0, "follower election timeout (0 = 10x heartbeat; with -replicate)")
+	joinURL := fs.String("join", "", "base URL of any live cluster node: join its cluster as a new member instead of bootstrapping (with -replicate; -peers then only needs this node's own id=url)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *file == "" {
 		return errors.New("missing -f scenario file")
+	}
+	if *joinURL != "" && *replicate == "" {
+		return errors.New("-join requires -replicate")
 	}
 	var peers map[string]string
 	if *replicate != "" {
@@ -238,6 +305,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 				Heartbeat:       *replHeartbeat,
 				ElectionTimeout: *replElection,
 				Seed:            *seed,
+				Join:            *joinURL != "",
 			}); err != nil {
 				return err
 			}
@@ -306,6 +374,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+	if *joinURL != "" {
+		// The listener is bound, so the cluster can reach us back: ask any
+		// live node to admit this one. The leader adds us as a learner,
+		// streams us the log (via snapshot when we are far behind) and
+		// auto-promotes us to voter once we are caught up.
+		go registerWithCluster(ctx, *joinURL, *replicate, peers[*replicate])
+	}
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -208,12 +208,26 @@ func (j *Journal) Append(typ string, data any) (uint64, error) {
 	return j.AppendSpan(nil, typ, data)
 }
 
+// AppendSync is Append with an unconditional flush: the record is on
+// stable storage when it returns regardless of the configured fsync
+// policy. Replication uses it for membership-change records — a node
+// that forgets a configuration it acknowledged could count votes under
+// a stale quorum after a crash, so these records never ride the
+// interval flusher.
+func (j *Journal) AppendSync(typ string, data any) (uint64, error) {
+	return j.appendSpan(nil, typ, data, true)
+}
+
 // AppendSpan is Append with latency attribution: the whole append is
 // recorded as a "journal.append" child span of parent, and under
 // SyncAlways the stable-storage flush gets its own nested
 // "journal.fsync" span — in an admission trace, that child is where a
 // slow disk shows up. A nil parent costs nothing.
 func (j *Journal) AppendSpan(parent *obs.Span, typ string, data any) (uint64, error) {
+	return j.appendSpan(parent, typ, data, false)
+}
+
+func (j *Journal) appendSpan(parent *obs.Span, typ string, data any, force bool) (uint64, error) {
 	asp := parent.Child("journal.append")
 	defer asp.End()
 	asp.SetAttr("type", typ)
@@ -247,15 +261,15 @@ func (j *Journal) AppendSpan(parent *obs.Span, typ string, data any) (uint64, er
 	if _, err := j.f.Write(frame); err != nil {
 		return 0, fmt.Errorf("journal: append seq %d: %w", rec.Seq, err)
 	}
-	switch j.opt.Fsync {
-	case SyncAlways:
+	switch {
+	case j.opt.Fsync == SyncAlways || force:
 		fsp := asp.Child("journal.fsync")
 		err := j.fsyncLocked()
 		fsp.End()
 		if err != nil {
 			return 0, err
 		}
-	case SyncInterval:
+	case j.opt.Fsync == SyncInterval:
 		j.dirty = true
 	}
 	j.seq = rec.Seq

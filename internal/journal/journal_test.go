@@ -378,3 +378,47 @@ func segmentPaths(t *testing.T, dir string) []string {
 	}
 	return out
 }
+
+// TestAppendSyncForcesFsync: AppendSync must put the record on stable
+// storage immediately regardless of the configured fsync policy — the
+// replication layer uses it for membership-change records, which must
+// never be lost to a crash window.
+func TestAppendSyncForcesFsync(t *testing.T) {
+	for _, policy := range []Policy{SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			j, err := Open(t.TempDir(), Options{Fsync: policy, FsyncInterval: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			if _, _, err := j.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := j.Append("op", testOp{Op: "lazy"}); err != nil {
+				t.Fatal(err)
+			}
+			if policy == SyncInterval {
+				j.mu.Lock()
+				dirty := j.dirty
+				j.mu.Unlock()
+				if !dirty {
+					t.Fatal("interval-policy append did not mark the journal dirty")
+				}
+			}
+			seq, err := j.AppendSync("op", testOp{Op: "forced"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != 2 {
+				t.Fatalf("AppendSync seq = %d, want 2", seq)
+			}
+			// The forced fsync flushed everything buffered before it too.
+			j.mu.Lock()
+			dirty := j.dirty
+			j.mu.Unlock()
+			if dirty {
+				t.Fatal("journal still dirty after AppendSync")
+			}
+		})
+	}
+}

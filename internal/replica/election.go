@@ -38,6 +38,15 @@ func (e *NotLeaderError) Error() string {
 // lease expired and an election starts.
 func (n *Node) resetElectionLocked(now time.Time) {
 	n.lastHeard = now
+	n.rearmElectionLocked(now)
+}
+
+// rearmElectionLocked pushes the election deadline WITHOUT refreshing
+// lastHeard. Canvass pacing must use this: if a node's own pre-vote
+// rounds renewed its leader lease, every follower of a dead leader would
+// deny every other follower's canvass forever and no election could
+// start.
+func (n *Node) rearmElectionLocked(now time.Time) {
 	jitter := time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
 	n.electionDeadline = now.Add(n.cfg.ElectionTimeout + jitter)
 }
@@ -110,22 +119,124 @@ func (n *Node) tickLoop() {
 }
 
 func (n *Node) tick() {
+	now := time.Now()
 	n.mu.Lock()
 	switch n.role {
 	case Leader:
+		if n.checkQuorumLocked(now) {
+			n.mu.Unlock() // stepped down; no heartbeat to send
+			return
+		}
 		n.mu.Unlock()
 		n.broadcastHeartbeat()
 	default:
-		if time.Now().After(n.electionDeadline) {
-			n.startElectionLocked() // unlocks
+		if now.After(n.electionDeadline) {
+			if !n.isVoterLocked(n.cfg.ID) {
+				// Learners and un-admitted joiners never elect; just
+				// re-arm the timer so a later promotion starts fresh.
+				n.rearmElectionLocked(now)
+				n.mu.Unlock()
+				return
+			}
+			n.startPreVoteLocked() // unlocks
 		} else {
 			n.mu.Unlock()
 		}
 	}
 }
 
+// checkQuorumLocked is the leader's liveness self-test: if a quorum of
+// voters (counting itself) has been silent for a full election timeout,
+// the leader is on the minority side of a partition and a new leader has
+// likely risen beyond it — step down so parked proposals fail with a
+// redirect instead of blackholing until the client gives up. Returns
+// true when the node stepped down.
+func (n *Node) checkQuorumLocked(now time.Time) bool {
+	if now.Sub(n.leaseStart) < n.cfg.ElectionTimeout {
+		return false // fresh leader: one timeout of grace to hear from peers
+	}
+	heard := 1 // self (leaders are always voters under the committed conf)
+	for _, m := range n.conf.Members {
+		if !m.Voter || m.ID == n.cfg.ID {
+			continue
+		}
+		if lc, ok := n.lastContact[m.ID]; ok && now.Sub(lc) <= n.cfg.ElectionTimeout {
+			heard++
+		}
+	}
+	if heard >= n.quorumLocked() {
+		return false
+	}
+	n.cfg.Logger.Warn("replica check-quorum step-down", "id", n.cfg.ID, "term", n.term,
+		"heard", heard, "quorum", n.quorumLocked())
+	n.countCheckQuorumStepdown()
+	n.leaderID = ""
+	n.becomeFollowerLocked()
+	n.resetElectionLocked(now)
+	return true
+}
+
+// startPreVoteLocked canvasses the voters with a non-binding vote
+// request for term+1 WITHOUT incrementing the term. Only if a quorum
+// signals it would grant does the real election start — so a partitioned
+// or rebooting node that cannot win keeps knocking at its own term
+// instead of inflating the cluster's and deposing a healthy leader on
+// rejoin. Called with n.mu held; releases it.
+func (n *Node) startPreVoteLocked() {
+	n.rearmElectionLocked(time.Now())
+	term := n.term
+	last := n.lastSeqLocked()
+	lastTerm, _ := n.termAtLocked(last)
+	quorum := n.quorumLocked()
+	n.countPreVoteRound()
+	if quorum == 1 {
+		n.startElectionLocked() // single-voter cluster: elect immediately (unlocks)
+		return
+	}
+	voters := n.voterPeersLocked()
+	n.mu.Unlock()
+
+	req := &VoteRequest{Term: term + 1, CandidateID: n.cfg.ID, LastSeq: last, LastTerm: lastTerm, PreVote: true}
+	var granted atomic.Int32
+	granted.Store(1) // self
+	for id, tr := range voters {
+		go func(id string, tr Transport) {
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RPCTimeout)
+			defer cancel()
+			resp, err := tr.RequestVote(ctx, req)
+			if err != nil {
+				return
+			}
+			n.mu.Lock()
+			if resp.Term > n.term {
+				if err := n.stepDownLocked(resp.Term); err != nil {
+					n.cfg.Logger.Error("replica: persist step-down failed", "err", err)
+				}
+				n.mu.Unlock()
+				return
+			}
+			if !resp.Granted || n.term != term || n.role == Leader || !n.isVoterLocked(n.cfg.ID) {
+				n.mu.Unlock()
+				return
+			}
+			if n.leaderID != "" && time.Since(n.lastHeard) < n.cfg.ElectionTimeout {
+				// A leader surfaced while the canvass was in flight;
+				// starting the real election now would disrupt it.
+				n.mu.Unlock()
+				return
+			}
+			if int(granted.Add(1)) == quorum {
+				n.startElectionLocked() // unlocks
+				return
+			}
+			n.mu.Unlock()
+		}(id, tr)
+	}
+}
+
 // startElectionLocked moves to candidate in term+1 and solicits votes.
-// Called with n.mu held; releases it.
+// Reached only through a successful pre-vote canvass. Called with n.mu
+// held; releases it.
 func (n *Node) startElectionLocked() {
 	n.term++
 	n.votedFor = n.cfg.ID
@@ -147,19 +258,21 @@ func (n *Node) startElectionLocked() {
 	term := n.term
 	last := n.lastSeqLocked()
 	lastTerm, _ := n.termAtLocked(last)
+	quorum := n.quorumLocked()
+	voters := n.voterPeersLocked()
 	n.cfg.Logger.Info("replica election", "id", n.cfg.ID, "term", term)
+
+	if quorum == 1 {
+		n.becomeLeaderLocked(term)
+		n.mu.Unlock()
+		return
+	}
 	n.mu.Unlock()
 
 	req := &VoteRequest{Term: term, CandidateID: n.cfg.ID, LastSeq: last, LastTerm: lastTerm}
 	var granted atomic.Int32
 	granted.Store(1) // self-vote
-	if n.quorum == 1 {
-		n.mu.Lock()
-		n.becomeLeaderLocked(term)
-		n.mu.Unlock()
-		return
-	}
-	for id, tr := range n.cfg.Peers {
+	for id, tr := range voters {
 		go func(id string, tr Transport) {
 			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RPCTimeout)
 			defer cancel()
@@ -178,7 +291,7 @@ func (n *Node) startElectionLocked() {
 			if n.role != Candidate || n.term != term || !resp.Granted {
 				return
 			}
-			if int(granted.Add(1)) >= n.quorum {
+			if int(granted.Add(1)) >= quorum {
 				n.becomeLeaderLocked(term)
 			}
 		}(id, tr)
@@ -196,6 +309,11 @@ func (n *Node) becomeLeaderLocked(term uint64) {
 		n.ready = false
 		for id := range n.match {
 			delete(n.match, id)
+		}
+		now := time.Now()
+		n.leaseStart = now
+		for id := range n.trans {
+			n.lastContact[id] = now
 		}
 		n.observeStateLocked()
 		n.cfg.Logger.Info("replica leader elected", "id", n.cfg.ID, "term", term)
@@ -267,8 +385,8 @@ func (n *Node) broadcastHeartbeat() {
 		tr  Transport
 		req *AppendRequest
 	}
-	jobs := make([]sendJob, 0, len(n.cfg.Peers))
-	for id, tr := range n.cfg.Peers {
+	jobs := make([]sendJob, 0, len(n.trans))
+	for id, tr := range n.trans {
 		m, known := n.match[id]
 		req := &AppendRequest{Term: term, LeaderID: n.cfg.ID, LeaderCommit: n.commitIndex}
 		if known && m < last && m >= n.snapBase {
@@ -281,6 +399,7 @@ func (n *Node) broadcastHeartbeat() {
 		}
 		jobs = append(jobs, sendJob{id, tr, req})
 	}
+	n.observePeerHealthLocked()
 	n.mu.Unlock()
 	for _, job := range jobs {
 		go n.sendAppend(job.id, job.tr, job.req, term)
@@ -312,6 +431,9 @@ func (n *Node) handleAppendResponse(id string, tr Transport, resp *AppendRespons
 		n.mu.Unlock()
 		return
 	}
+	// Any response — even a rejection — proves the peer is alive for
+	// check-quorum purposes.
+	n.lastContact[id] = time.Now()
 	if resp.Success {
 		// Clamp: a follower may momentarily hold a longer (stale-term)
 		// log than ours; its surplus must not count toward our commit.
@@ -319,6 +441,7 @@ func (n *Node) handleAppendResponse(id string, tr Transport, resp *AppendRespons
 		if m > n.match[id] {
 			n.match[id] = m
 			n.advanceCommitLocked()
+			n.maybePromoteLocked(id)
 		}
 		n.mu.Unlock()
 		return
@@ -329,32 +452,57 @@ func (n *Node) handleAppendResponse(id string, tr Transport, resp *AppendRespons
 }
 
 // advanceCommitLocked recomputes the commit index as the quorum median
-// of match indices (self counts as the log end). Only an entry of the
-// CURRENT term may advance it (Raft §5.4.2): committing a prior-term
-// entry by counting replicas can be undone by a later leader.
+// of VOTER match indices (self counts as the log end; learners are
+// replicated to but never counted). Only an entry of the CURRENT term
+// may advance it (Raft §5.4.2): committing a prior-term entry by
+// counting replicas can be undone by a later leader. When the advance
+// commits a configuration entry the new membership is folded in and the
+// computation repeats under the new quorum (a shrink can unblock
+// further commits immediately).
 func (n *Node) advanceCommitLocked() {
-	arr := make([]uint64, 0, len(n.cfg.Peers)+1)
-	arr = append(arr, n.lastSeqLocked())
-	for id := range n.cfg.Peers {
-		arr = append(arr, n.match[id]) // zero for peers not heard from
-	}
-	sort.Slice(arr, func(i, j int) bool { return arr[i] > arr[j] })
-	cand := arr[n.quorum-1]
-	if cand <= n.commitIndex {
-		return
-	}
-	if t, ok := n.termAtLocked(cand); !ok || t != n.term {
-		return
-	}
-	n.commitIndex = cand
-	if !n.ready && n.barrier > 0 && cand >= n.barrier {
-		n.ready = true
-		n.cfg.Logger.Info("replica leader ready", "id", n.cfg.ID, "term", n.term, "barrier", n.barrier)
-	}
-	n.observeStateLocked()
-	n.notifyWaitersLocked()
-	if n.commitIndex > n.lastApplied {
-		n.kickApply()
+	for {
+		quorum := n.quorumLocked()
+		arr := make([]uint64, 0, len(n.conf.Members))
+		for _, m := range n.conf.Members {
+			if !m.Voter {
+				continue
+			}
+			if m.ID == n.cfg.ID {
+				arr = append(arr, n.lastSeqLocked())
+			} else {
+				arr = append(arr, n.match[m.ID]) // zero for peers not heard from
+			}
+		}
+		if len(arr) < quorum {
+			return
+		}
+		sort.Slice(arr, func(i, j int) bool { return arr[i] > arr[j] })
+		cand := arr[quorum-1]
+		if cand <= n.commitIndex {
+			return
+		}
+		if t, ok := n.termAtLocked(cand); !ok || t != n.term {
+			return
+		}
+		n.commitIndex = cand
+		if !n.ready && n.barrier > 0 && cand >= n.barrier {
+			n.ready = true
+			n.cfg.Logger.Info("replica leader ready", "id", n.cfg.ID, "term", n.term, "barrier", n.barrier)
+		}
+		n.observeStateLocked()
+		// Waiters first, membership second: a committed self-removal must
+		// acknowledge its proposer before the fold deposes this leader.
+		n.notifyWaitersLocked()
+		if n.commitIndex > n.lastApplied {
+			n.kickApply()
+		}
+		if n.nextConfSeq == 0 || n.nextConfSeq > n.commitIndex {
+			return
+		}
+		n.recomputeConfLocked()
+		if n.role != Leader {
+			return // the fold removed us; nothing further to commit here
+		}
 	}
 }
 
@@ -417,11 +565,13 @@ func (n *Node) catchUp(id string, tr Transport, hint, hintTerm, term uint64) {
 				n.mu.Unlock()
 				return
 			}
+			n.lastContact[id] = time.Now()
 			if resp.Success {
 				m := min(resp.LastSeq, n.lastSeqLocked())
 				if m > n.match[id] {
 					n.match[id] = m
 					n.advanceCommitLocked()
+					n.maybePromoteLocked(id)
 				}
 				n.mu.Unlock()
 				return
@@ -437,6 +587,7 @@ func (n *Node) catchUp(id string, tr Transport, hint, hintTerm, term uint64) {
 			LeaderID:     n.cfg.ID,
 			SnapSeq:      n.snapBase,
 			SnapTerm:     n.snapTerm,
+			SnapConf:     n.snapConf,
 			State:        n.snapData,
 			Entries:      append([]Entry(nil), n.tail...),
 			LeaderCommit: n.commitIndex,
@@ -456,11 +607,15 @@ func (n *Node) catchUp(id string, tr Transport, hint, hintTerm, term uint64) {
 			n.mu.Unlock()
 			return
 		}
-		if n.role == Leader && n.term == term && resp.Success {
-			m := min(resp.LastSeq, n.lastSeqLocked())
-			if m > n.match[id] {
-				n.match[id] = m
-				n.advanceCommitLocked()
+		if n.role == Leader && n.term == term {
+			n.lastContact[id] = time.Now()
+			if resp.Success {
+				m := min(resp.LastSeq, n.lastSeqLocked())
+				if m > n.match[id] {
+					n.match[id] = m
+					n.advanceCommitLocked()
+					n.maybePromoteLocked(id)
+				}
 			}
 		}
 		n.mu.Unlock()

@@ -17,36 +17,72 @@ import (
 func (n *Node) Propose(data []byte) error {
 	n.proposeMu.Lock()
 	n.mu.Lock()
-	if n.stopped {
+	return n.proposeLocked(json.RawMessage(data), nil, 0) // unlocks both
+}
+
+// proposeConfLocked proposes conf as the cluster's next configuration.
+// Called with n.mu held (but NOT proposeMu); releases it. The entry
+// rides the ordinary replication path — same quorum wait, same waiter
+// semantics — but is journaled under its own record type with a forced
+// fsync, and only one may be uncommitted at a time.
+func (n *Node) proposeConfLocked(conf Membership) error {
+	// The caller derived conf from the committed configuration it saw;
+	// remember that base so the decision can be revalidated after the
+	// locks are re-taken in propose order (proposeMu before mu).
+	base := n.conf.Seq
+	n.mu.Unlock()
+	n.proposeMu.Lock()
+	n.mu.Lock()
+	return n.proposeLocked(nil, &conf, base) // unlocks both
+}
+
+// proposeLocked is the shared propose core. Called with proposeMu and
+// n.mu held, in that order; releases both. confBase is the committed
+// configuration a non-nil conf was derived from: if another change
+// landed in between (or is still pending), the stale derivation is
+// refused rather than silently undoing it.
+func (n *Node) proposeLocked(data json.RawMessage, conf *Membership, confBase uint64) error {
+	unlock := func() {
 		n.mu.Unlock()
 		n.proposeMu.Unlock()
+	}
+	if n.stopped {
+		unlock()
 		return ErrStopped
 	}
 	if n.role != Leader {
 		err := &NotLeaderError{LeaderID: n.leaderID}
-		n.mu.Unlock()
-		n.proposeMu.Unlock()
+		unlock()
 		return err
 	}
 	if !n.ready {
-		n.mu.Unlock()
-		n.proposeMu.Unlock()
+		unlock()
 		return ErrNotReady
+	}
+	if conf != nil && (n.nextConfSeq != 0 || n.conf.Seq != confBase) {
+		unlock()
+		return ErrConfChangeInFlight
 	}
 	term := n.term
 	prev := n.lastSeqLocked()
 	prevTerm, _ := n.termAtLocked(prev)
-	e := Entry{Seq: prev + 1, Term: term, Data: json.RawMessage(data)}
+	e := Entry{Seq: prev + 1, Term: term, Data: data}
+	if conf != nil {
+		conf.Seq = e.Seq
+		e.Conf = conf
+		e.Data = nil
+	}
 	if err := n.appendEntryLocked(e); err != nil {
 		// The local journal refused the entry. The scheduler already
 		// holds the op in memory; surfacing the error fails the request
 		// with ErrDurability upstream and the durability contract (treat
 		// the node as failed, restart to heal) applies.
-		n.mu.Unlock()
-		n.proposeMu.Unlock()
+		unlock()
 		return err
 	}
-	n.lastApplied = e.Seq // the caller applied this op before proposing
+	if conf == nil {
+		n.lastApplied = e.Seq // the caller applied this op before proposing
+	}
 	w := &commitWaiter{seq: e.Seq, term: term, c: make(chan error, 1)}
 	n.waiters = append(n.waiters, w)
 	n.advanceCommitLocked() // self-count (completes the waiter at quorum 1)
@@ -58,8 +94,8 @@ func (n *Node) Propose(data []byte) error {
 		Entries:      []Entry{e},
 		LeaderCommit: n.commitIndex,
 	}
-	peers := make(map[string]Transport, len(n.cfg.Peers))
-	for id, tr := range n.cfg.Peers {
+	peers := make(map[string]Transport, len(n.trans))
+	for id, tr := range n.trans {
 		peers[id] = tr
 	}
 	n.mu.Unlock()

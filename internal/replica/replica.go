@@ -58,8 +58,14 @@ func (r Role) String() string {
 	}
 }
 
-// recordType tags replicated entries in the journal.
-const recordType = "repl"
+// recordType tags replicated entries in the journal; confRecordType tags
+// membership-change entries, which are additionally fsynced on append
+// regardless of the journal's policy (a lost configuration record could
+// let a crashed node count votes under a stale quorum).
+const (
+	recordType     = "repl"
+	confRecordType = "repl-conf"
+)
 
 // metaFile persists the vote state (term, votedFor) that must survive a
 // crash: voting twice in one term would let two leaders win it.
@@ -68,19 +74,26 @@ const metaFile = "repl-meta.json"
 // Entry is one replicated log entry. Seq is both the journal sequence
 // number and the log index; Term is the leadership term that created the
 // entry. A Nop entry is the barrier a new leader commits to prove its
-// term before acknowledging proposals; it never reaches the state
-// machine.
+// term before acknowledging proposals; a Conf entry carries a complete
+// new cluster configuration that takes effect when the entry commits.
+// Neither reaches the state machine.
 type Entry struct {
 	Seq  uint64          `json:"seq"`
 	Term uint64          `json:"term"`
 	Nop  bool            `json:"nop,omitempty"`
+	Conf *Membership     `json:"conf,omitempty"`
 	Data json.RawMessage `json:"data,omitempty"`
 }
 
 // snapPayload wraps a state-machine snapshot with the term of the last
-// entry it covers, so log-matching works across a snapshot boundary.
+// entry it covers (so log-matching works across a snapshot boundary) and
+// the cluster configuration as of that entry (so a restart or a
+// snapshot-install recovers membership without replaying history). A
+// snapshot without members predates dynamic membership and falls back to
+// the boot-time configuration.
 type snapPayload struct {
 	Term  uint64          `json:"term"`
+	Conf  Membership      `json:"conf"`
 	State json.RawMessage `json:"state"`
 }
 
@@ -110,8 +123,24 @@ type StateMachine interface {
 type Config struct {
 	// ID names this node; it must be unique across the cluster.
 	ID string
-	// Peers maps every OTHER node's ID to a transport reaching it.
+	// Peers maps every OTHER boot-time node's ID to a transport reaching
+	// it. Members added later get transports from TransportFactory.
 	Peers map[string]Transport
+	// Addrs optionally maps member IDs (including this node's) to the
+	// advertised addresses recorded in the boot-time configuration, so
+	// nodes that join later can dial the incumbents.
+	Addrs map[string]string
+	// TransportFactory builds a transport for a member learned through a
+	// configuration change (nil disables dynamic dialing; such members
+	// are only reachable if already present in Peers).
+	TransportFactory func(id, addr string) Transport
+	// Join starts the node with an EMPTY configuration: it neither votes
+	// nor elects, and waits for a leader to stream it the real
+	// membership (an AddMember on the leader admits it as a learner).
+	Join bool
+	// MaxLearnerLag is the most log entries a learner may trail the
+	// leader by and still be promoted to voter (default 64).
+	MaxLearnerLag uint64
 	// Journal is the node's write-ahead journal, opened but not yet
 	// recovered — Start owns recovery.
 	Journal *journal.Journal
@@ -156,6 +185,9 @@ func (c Config) withDefaults() Config {
 	if c.ProposeTimeout <= 0 {
 		c.ProposeTimeout = 4 * c.ElectionTimeout
 	}
+	if c.MaxLearnerLag == 0 {
+		c.MaxLearnerLag = 64
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -176,14 +208,31 @@ type commitWaiter struct {
 // Node is one member of the replicated control plane. All exported
 // methods are safe for concurrent use.
 type Node struct {
-	cfg    Config
-	quorum int
+	cfg Config
 
 	mu       sync.Mutex
 	role     Role
 	term     uint64
 	votedFor string
 	leaderID string
+
+	// conf is the committed cluster configuration; snapConf is the
+	// configuration as of snapBase. trans holds a live transport per
+	// OTHER member; nextConfSeq is the log index of the single pending
+	// (uncommitted) configuration entry, 0 when none.
+	conf        Membership
+	snapConf    Membership
+	trans       map[string]Transport
+	nextConfSeq uint64
+	// promoting dedups in-flight learner auto-promotions.
+	promoting map[string]bool
+
+	// lastContact tracks when each peer last answered an RPC; the
+	// check-quorum rule steps an isolated leader down when a quorum has
+	// been silent for an election timeout. leaseStart is the grace
+	// anchor: a fresh leader gets one timeout to hear from anyone.
+	lastContact map[string]time.Time
+	leaseStart  time.Time
 	// ready is set once the leader's term barrier has committed; Propose
 	// before that answers ErrNotReady (retryable).
 	ready   bool
@@ -243,14 +292,24 @@ func New(cfg Config) (*Node, error) {
 	if _, ok := cfg.Peers[cfg.ID]; ok {
 		return nil, fmt.Errorf("replica: peers must not include the node itself (%q)", cfg.ID)
 	}
+	if cfg.Join && len(cfg.Peers) > 0 {
+		return nil, fmt.Errorf("replica: Join mode takes no static peers (membership comes from the leader)")
+	}
 	n := &Node{
-		cfg:      cfg,
-		quorum:   (len(cfg.Peers)+1)/2 + 1,
-		match:    make(map[string]uint64, len(cfg.Peers)),
-		catching: make(map[string]bool, len(cfg.Peers)),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		applyc:   make(chan struct{}, 1),
-		stopc:    make(chan struct{}),
+		cfg:         cfg,
+		conf:        bootstrapConf(cfg),
+		snapConf:    bootstrapConf(cfg),
+		trans:       make(map[string]Transport, len(cfg.Peers)),
+		promoting:   make(map[string]bool),
+		lastContact: make(map[string]time.Time, len(cfg.Peers)),
+		match:       make(map[string]uint64, len(cfg.Peers)),
+		catching:    make(map[string]bool, len(cfg.Peers)),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		applyc:      make(chan struct{}, 1),
+		stopc:       make(chan struct{}),
+	}
+	for id, tr := range cfg.Peers {
+		n.trans[id] = tr
 	}
 	n.registerMetrics()
 	return n, nil
@@ -286,6 +345,9 @@ func (n *Node) Start() error {
 		n.snapTerm = sp.Term
 		n.snapData = sp.State
 		smSnap = sp.State
+		if len(sp.Conf.Members) > 0 {
+			n.snapConf = sp.Conf
+		}
 	}
 	n.snapBase = n.cfg.Journal.SnapshotSeq()
 	var datas [][]byte
@@ -298,7 +360,7 @@ func (n *Node) Start() error {
 			return fmt.Errorf("replica: entry %d carries seq %d", r.Seq, e.Seq)
 		}
 		n.tail = append(n.tail, e)
-		if !e.Nop {
+		if !e.Nop && e.Conf == nil {
 			datas = append(datas, e.Data)
 		}
 	}
@@ -313,7 +375,7 @@ func (n *Node) Start() error {
 		// every snapshot catch-up of an empty peer — starts from the
 		// same bytes.
 		err := n.cfg.SM.SnapshotWith(func(state []byte) error {
-			if err := n.cfg.Journal.WriteSnapshot(snapPayload{State: state}); err != nil {
+			if err := n.cfg.Journal.WriteSnapshot(snapPayload{Conf: n.snapConf, State: state}); err != nil {
 				return err
 			}
 			n.snapData = append([]byte(nil), state...)
@@ -325,6 +387,10 @@ func (n *Node) Start() error {
 	}
 
 	n.mu.Lock()
+	// Fold any recovered configuration entries: like data entries, the
+	// local tail is optimistically treated as committed at restart; a
+	// conflict truncation later rolls the configuration back with it.
+	n.recomputeConfLocked()
 	n.resetElectionLocked(time.Now())
 	n.observeStateLocked()
 	n.mu.Unlock()
@@ -357,6 +423,23 @@ func (n *Node) Stop() {
 
 // --- accessors ---
 
+// MemberStatus is one row of the membership table in Status. Match, Lag
+// and LastContactSeconds are the leader's view and are zero/negative on
+// other roles (and for the leader's own row).
+type MemberStatus struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr,omitempty"`
+	Voter bool   `json:"voter"`
+	Self  bool   `json:"self,omitempty"`
+	// Match is the highest log index known replicated to this member.
+	Match uint64 `json:"match,omitempty"`
+	// Lag is the member's distance from the leader's log end.
+	Lag uint64 `json:"lag,omitempty"`
+	// LastContactSeconds is the age of the last successful RPC round
+	// trip to this member (-1 when never heard from).
+	LastContactSeconds float64 `json:"lastContactSeconds,omitempty"`
+}
+
 // Status is the observable replication state, mirrored in /healthz.
 type Status struct {
 	ID          string `json:"id"`
@@ -372,6 +455,14 @@ type Status struct {
 	// acknowledge proposals).
 	Ready bool `json:"ready"`
 	Peers int  `json:"peers"`
+	// Voter reports whether this node votes under the committed
+	// configuration (false for learners and un-admitted joiners).
+	Voter bool `json:"voter"`
+	// ConfSeq is the log index of the committed configuration (0 for
+	// the boot-time one); PendingConf reports an uncommitted change.
+	ConfSeq     uint64         `json:"confSeq"`
+	PendingConf bool           `json:"pendingConf,omitempty"`
+	Members     []MemberStatus `json:"members,omitempty"`
 }
 
 // Status returns a point-in-time view of the node.
@@ -382,18 +473,50 @@ func (n *Node) Status() Status {
 	if n.role == Leader {
 		lid = n.cfg.ID
 	}
+	now := time.Now()
+	last := n.lastSeqLocked()
+	members := make([]MemberStatus, 0, len(n.conf.Members))
+	for _, m := range n.conf.Members {
+		ms := MemberStatus{ID: m.ID, Addr: m.Addr, Voter: m.Voter, Self: m.ID == n.cfg.ID, LastContactSeconds: -1}
+		if n.role == Leader && !ms.Self {
+			ms.Match = n.match[m.ID]
+			if last > ms.Match {
+				ms.Lag = last - ms.Match
+			}
+			if lc, ok := n.lastContact[m.ID]; ok {
+				ms.LastContactSeconds = now.Sub(lc).Seconds()
+			}
+		}
+		members = append(members, ms)
+	}
 	return Status{
 		ID:          n.cfg.ID,
 		Role:        n.role.String(),
 		Term:        n.term,
 		CommitIndex: n.commitIndex,
-		LastSeq:     n.lastSeqLocked(),
+		LastSeq:     last,
 		LastApplied: n.lastApplied,
 		SnapshotSeq: n.snapBase,
 		Leader:      lid,
 		Ready:       n.ready,
-		Peers:       len(n.cfg.Peers),
+		Peers:       len(n.trans),
+		Voter:       n.isVoterLocked(n.cfg.ID),
+		ConfSeq:     n.conf.Seq,
+		PendingConf: n.nextConfSeq != 0,
+		Members:     members,
 	}
+}
+
+// MemberAddr returns the advertised address of member id ("" when
+// unknown) — the server uses it to build redirect URLs for members the
+// static peer table has never heard of.
+func (n *Node) MemberAddr(id string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m, ok := n.conf.member(id); ok {
+		return m.Addr
+	}
+	return ""
 }
 
 // ID returns the node's identifier.
@@ -450,12 +573,20 @@ func (n *Node) termAtLocked(seq uint64) (uint64, bool) {
 
 // appendEntryLocked writes one entry to the journal and the in-memory
 // tail. The journal assigns sequence numbers itself; the invariant that
-// the replica log and the journal agree is asserted here.
+// the replica log and the journal agree is asserted here. Configuration
+// entries use their own record type and are forced to stable storage
+// immediately, whatever the journal's fsync policy.
 func (n *Node) appendEntryLocked(e Entry) error {
 	if want := n.lastSeqLocked() + 1; e.Seq != want {
 		return fmt.Errorf("replica: append seq %d, log expects %d", e.Seq, want)
 	}
-	seq, err := n.cfg.Journal.Append(recordType, e)
+	var seq uint64
+	var err error
+	if e.Conf != nil {
+		seq, err = n.cfg.Journal.AppendSync(confRecordType, e)
+	} else {
+		seq, err = n.cfg.Journal.Append(recordType, e)
+	}
 	if err != nil {
 		return err
 	}
@@ -463,6 +594,9 @@ func (n *Node) appendEntryLocked(e Entry) error {
 		return fmt.Errorf("replica: journal assigned seq %d to entry %d", seq, e.Seq)
 	}
 	n.tail = append(n.tail, e)
+	if e.Conf != nil && n.nextConfSeq == 0 {
+		n.nextConfSeq = e.Seq
+	}
 	return nil
 }
 
@@ -571,7 +705,7 @@ func (n *Node) drainApply() {
 		}
 		e := n.tail[n.lastApplied-n.snapBase]
 		n.mu.Unlock()
-		if !e.Nop {
+		if !e.Nop && e.Conf == nil {
 			if err := n.cfg.SM.Apply(e.Data); err != nil {
 				n.cfg.Logger.Error("replica: apply failed; applies halted", "seq", e.Seq, "err", err)
 				return
@@ -612,16 +746,20 @@ func (n *Node) snapshotNow() error {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		last := n.lastSeqLocked()
-		if n.lastApplied != last {
+		if n.lastApplied != last || n.commitIndex != last {
+			// The commit check keeps snapConf exact: the committed
+			// configuration covers every entry the snapshot would.
 			return nil
 		}
 		term, _ := n.termAtLocked(last)
-		if err := n.cfg.Journal.WriteSnapshot(snapPayload{Term: term, State: state}); err != nil {
+		if err := n.cfg.Journal.WriteSnapshot(snapPayload{Term: term, Conf: n.conf, State: state}); err != nil {
 			return err
 		}
 		n.snapBase, n.snapTerm = last, term
+		n.snapConf = n.conf
 		n.snapData = append([]byte(nil), state...)
 		n.tail = nil
+		n.nextConfSeq = 0
 		return nil
 	})
 }

@@ -186,10 +186,6 @@ func (c *cluster) sm(id string) *fakeSM {
 
 func (c *cluster) startNode(id string, seed int64) *Node {
 	c.t.Helper()
-	j, err := journal.Open(c.dirs[id], journal.Options{})
-	if err != nil {
-		c.t.Fatalf("open journal %s: %v", id, err)
-	}
 	peers := make(map[string]Transport)
 	for _, pid := range c.ids {
 		if pid == id {
@@ -197,13 +193,42 @@ func (c *cluster) startNode(id string, seed int64) *Node {
 		}
 		peers[pid] = &localTransport{net: c.net, from: id, to: pid, resolve: c.node}
 	}
+	return c.bootNode(id, seed, peers, false, c.snapshotEvery)
+}
+
+// startJoinNode boots a node in Join mode: no static peers, an empty
+// boot configuration, membership learned from the leader's stream. Its
+// own snapshot cadence is disabled so a SnapshotSeq > 0 proves a
+// snapshot INSTALL from the leader rather than local compaction.
+func (c *cluster) startJoinNode(id string, seed int64) *Node {
+	c.t.Helper()
+	c.mu.Lock()
+	if _, ok := c.dirs[id]; !ok {
+		c.dirs[id] = c.t.TempDir()
+		c.ids = append(c.ids, id)
+	}
+	c.mu.Unlock()
+	return c.bootNode(id, seed, nil, true, -1)
+}
+
+func (c *cluster) bootNode(id string, seed int64, peers map[string]Transport, join bool, snapshotEvery int) *Node {
+	c.t.Helper()
+	j, err := journal.Open(c.dirs[id], journal.Options{})
+	if err != nil {
+		c.t.Fatalf("open journal %s: %v", id, err)
+	}
 	sm := &fakeSM{}
 	n, err := New(Config{
-		ID:              id,
-		Peers:           peers,
+		ID:    id,
+		Peers: peers,
+		Join:  join,
+		TransportFactory: func(pid, addr string) Transport {
+			return &localTransport{net: c.net, from: id, to: pid, resolve: c.node}
+		},
+		MaxLearnerLag:   4,
 		Journal:         j,
 		SM:              sm,
-		SnapshotEvery:   c.snapshotEvery,
+		SnapshotEvery:   snapshotEvery,
 		Heartbeat:       5 * time.Millisecond,
 		ElectionTimeout: 60 * time.Millisecond,
 		RPCTimeout:      80 * time.Millisecond,

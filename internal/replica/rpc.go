@@ -33,12 +33,18 @@ type AppendResponse struct {
 // VoteRequest asks for a vote in Term. LastSeq/LastTerm summarize the
 // candidate's log; a voter only grants when that log is at least as
 // up-to-date as its own, which is what guarantees no quorum-acked entry
-// is ever lost by an election.
+// is ever lost by an election. A PreVote request is a non-binding
+// canvass: the voter answers whether it WOULD grant (Term here is the
+// term the candidate would campaign in) without updating any state, and
+// additionally refuses while it still hears from a live leader — which
+// is what stops a partitioned node from deposing a healthy leader on
+// rejoin.
 type VoteRequest struct {
 	Term        uint64 `json:"term"`
 	CandidateID string `json:"candidateId"`
 	LastSeq     uint64 `json:"lastSeq"`
 	LastTerm    uint64 `json:"lastTerm"`
+	PreVote     bool   `json:"preVote,omitempty"`
 }
 
 // VoteResponse grants or denies.
@@ -52,13 +58,17 @@ type VoteResponse struct {
 // the leader's. Used when record streaming cannot repair the follower
 // (its hint predates the leader's snapshot base).
 type InstallSnapshotRequest struct {
-	Term         uint64  `json:"term"`
-	LeaderID     string  `json:"leaderId"`
-	SnapSeq      uint64  `json:"snapSeq"`
-	SnapTerm     uint64  `json:"snapTerm"`
-	State        []byte  `json:"state"`
-	Entries      []Entry `json:"entries,omitempty"`
-	LeaderCommit uint64  `json:"leaderCommit"`
+	Term     uint64 `json:"term"`
+	LeaderID string `json:"leaderId"`
+	SnapSeq  uint64 `json:"snapSeq"`
+	SnapTerm uint64 `json:"snapTerm"`
+	// SnapConf is the cluster configuration as of SnapSeq; the follower
+	// adopts it with the snapshot (entries in Entries may then evolve it
+	// further).
+	SnapConf     Membership `json:"snapConf"`
+	State        []byte     `json:"state"`
+	Entries      []Entry    `json:"entries,omitempty"`
+	LeaderCommit uint64     `json:"leaderCommit"`
 }
 
 // InstallSnapshotResponse acknowledges an install; LastSeq is the
@@ -176,16 +186,36 @@ func (n *Node) acceptEntriesLocked(prevSeq, prevTerm uint64, entries []Entry, le
 		n.commitIndex = min(leaderCommit, last)
 		n.observeStateLocked()
 	}
+	// Re-derive the committed configuration: the commit advance may have
+	// folded a pending change in, and a truncation may have rolled an
+	// optimistically applied one back.
+	n.recomputeConfLocked()
 	kick := n.restoreBase || n.commitIndex > n.lastApplied
 	return &AppendResponse{Term: n.term, Success: true, LastSeq: last}, kick, nil
 }
 
-// HandleRequestVote is the voter half of elections.
+// HandleRequestVote is the voter half of elections (and of pre-vote
+// canvasses, which touch no durable state).
 func (n *Node) HandleRequestVote(req *VoteRequest) (*VoteResponse, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.stopped {
 		return nil, ErrStopped
+	}
+	myLast := n.lastSeqLocked()
+	myTerm, _ := n.termAtLocked(myLast)
+	upToDate := req.LastTerm > myTerm || (req.LastTerm == myTerm && req.LastSeq >= myLast)
+	if req.PreVote {
+		// Non-binding: answer whether a real request would win this vote,
+		// without adopting the term, recording a vote, or resetting the
+		// election timer. Deny while a leadership lease is live — either
+		// we ARE the leader or we heard one within an election timeout —
+		// so a disconnected node cannot talk a healthy cluster into an
+		// election.
+		granted := req.Term > n.term && upToDate && n.isVoterLocked(n.cfg.ID) &&
+			n.role != Leader &&
+			!(n.leaderID != "" && time.Since(n.lastHeard) < n.cfg.ElectionTimeout)
+		return &VoteResponse{Term: n.term, Granted: granted}, nil
 	}
 	if req.Term < n.term {
 		return &VoteResponse{Term: n.term}, nil
@@ -193,10 +223,7 @@ func (n *Node) HandleRequestVote(req *VoteRequest) (*VoteResponse, error) {
 	if err := n.observeTermLocked(req.Term); err != nil {
 		return nil, err
 	}
-	myLast := n.lastSeqLocked()
-	myTerm, _ := n.termAtLocked(myLast)
-	upToDate := req.LastTerm > myTerm || (req.LastTerm == myTerm && req.LastSeq >= myLast)
-	if !upToDate || (n.votedFor != "" && n.votedFor != req.CandidateID) {
+	if !upToDate || (n.votedFor != "" && n.votedFor != req.CandidateID) || !n.isVoterLocked(n.cfg.ID) {
 		return &VoteResponse{Term: n.term}, nil
 	}
 	n.votedFor = req.CandidateID
@@ -251,14 +278,18 @@ func (n *Node) HandleInstallSnapshot(req *InstallSnapshotRequest) (*InstallSnaps
 		}
 		return &InstallSnapshotResponse{Term: ar.Term, Success: ar.Success, LastSeq: ar.LastSeq}, nil
 	}
-	payload := snapPayload{Term: req.SnapTerm, State: req.State}
+	payload := snapPayload{Term: req.SnapTerm, Conf: req.SnapConf, State: req.State}
 	if err := n.cfg.Journal.InstallSnapshot(req.SnapSeq, payload); err != nil {
 		n.mu.Unlock()
 		return nil, err
 	}
 	n.snapBase, n.snapTerm = req.SnapSeq, req.SnapTerm
+	if len(req.SnapConf.Members) > 0 {
+		n.snapConf = req.SnapConf
+	}
 	n.snapData = append([]byte(nil), req.State...)
 	n.tail = nil
+	n.nextConfSeq = 0
 	last := req.SnapSeq
 	for _, e := range req.Entries {
 		if e.Seq != last+1 {
@@ -273,6 +304,7 @@ func (n *Node) HandleInstallSnapshot(req *InstallSnapshotRequest) (*InstallSnaps
 	n.commitIndex = max(req.SnapSeq, min(req.LeaderCommit, last))
 	n.lastApplied = req.SnapSeq
 	n.restoreBase = true
+	n.recomputeConfLocked()
 	n.observeStateLocked()
 	resp := &InstallSnapshotResponse{Term: n.term, Success: true, LastSeq: last}
 	n.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +49,13 @@ type ReplicationConfig struct {
 	ElectionTimeout time.Duration
 	// Seed seeds the election jitter (0 = time-seeded).
 	Seed int64
+	// Join boots this node as a cluster joiner: it starts with an EMPTY
+	// membership (Peers then only needs this node's own id=url, its
+	// advertised address) and stays a passive learner until an existing
+	// leader admits it via POST /repl/members. The leader streams it the
+	// log — through the snapshot path when the joiner is far behind — and
+	// promotes it to voter once it has caught up.
+	Join bool
 }
 
 // EnableReplication opens the node's journal and starts the replica.
@@ -90,9 +98,13 @@ func (s *Server) EnableReplication(cfg ReplicationConfig) error {
 	}
 
 	peers := make(map[string]replica.Transport, len(cfg.Peers)-1)
-	for id, url := range cfg.Peers {
-		if id != cfg.NodeID {
-			peers[id] = replica.NewHTTPTransport(url, nil)
+	if !cfg.Join {
+		// A joiner has no static peers: its membership (and so its
+		// transports) arrive with the committed configuration stream.
+		for id, url := range cfg.Peers {
+			if id != cfg.NodeID {
+				peers[id] = replica.NewHTTPTransport(url, nil)
+			}
 		}
 	}
 	// Mix the node ID into the election-jitter seed: operators naturally
@@ -105,8 +117,14 @@ func (s *Server) EnableReplication(cfg ReplicationConfig) error {
 		seed ^= int64(h.Sum64())
 	}
 	node, err := replica.New(replica.Config{
-		ID:              cfg.NodeID,
-		Peers:           peers,
+		ID:    cfg.NodeID,
+		Peers: peers,
+		Addrs: cfg.Peers,
+		Join:  cfg.Join,
+		// Members added at runtime dial their advertised address.
+		TransportFactory: func(id, addr string) replica.Transport {
+			return replica.NewHTTPTransport(addr, nil)
+		},
 		Journal:         j,
 		SM:              sm,
 		SnapshotEvery:   cfg.SnapshotEvery,
@@ -174,6 +192,105 @@ func (s *Server) handleRepl(w http.ResponseWriter, r *http.Request) {
 	h.ServeHTTP(w, r)
 }
 
+// memberChangeRequest is the body of POST /repl/members.
+type memberChangeRequest struct {
+	// Action is "add" (admit ID at URL as a learner), "promote" (turn a
+	// caught-up learner into a voter) or "remove" (drop ID — the leader
+	// itself may be removed; it hands off after the change commits).
+	Action string `json:"action"`
+	ID     string `json:"id"`
+	URL    string `json:"url,omitempty"`
+}
+
+// membersResponse is the body of GET /repl/members (and of a successful
+// change): the committed configuration as this node knows it.
+type membersResponse struct {
+	ConfSeq uint64                 `json:"confSeq"`
+	Pending bool                   `json:"pendingChange"`
+	Leader  string                 `json:"leader,omitempty"`
+	Members []replica.MemberStatus `json:"members"`
+}
+
+func (s *Server) membersView(n *replica.Node) membersResponse {
+	st := n.Status()
+	resp := membersResponse{ConfSeq: st.ConfSeq, Pending: st.PendingConf, Leader: st.Leader, Members: st.Members}
+	if resp.Members == nil {
+		resp.Members = []replica.MemberStatus{}
+	}
+	return resp
+}
+
+// handleMembersGet reports the committed membership. Served by any node
+// (followers too): operators diff the answers to see a change propagate.
+func (s *Server) handleMembersGet(w http.ResponseWriter, r *http.Request) {
+	n := s.Replica()
+	if n == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "replication not enabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.membersView(n))
+}
+
+// handleMembersChange applies one membership change through the leader.
+// The /repl/ prefix is exempt from the write gate, so leadership is
+// enforced here by the replica itself: a follower answers 421 with the
+// same redirect contract as any other write.
+func (s *Server) handleMembersChange(w http.ResponseWriter, r *http.Request) {
+	n := s.Replica()
+	if n == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "replication not enabled"})
+		return
+	}
+	var req memberChangeRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode member change: %v", err)})
+		return
+	}
+	if req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "member change needs an id"})
+		return
+	}
+	var err error
+	switch req.Action {
+	case "add":
+		if req.URL == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `action "add" needs the new member's url`})
+			return
+		}
+		err = n.AddMember(req.ID, strings.TrimSuffix(req.URL, "/"))
+	case "promote":
+		err = n.PromoteMember(req.ID)
+	case "remove":
+		err = n.RemoveMember(req.ID)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown action %q (want add, promote or remove)", req.Action)})
+		return
+	}
+	var nl *replica.NotLeaderError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, s.membersView(n))
+	case errors.As(err, &nl):
+		url := s.leaderBaseURL(n, nl.LeaderID)
+		if url == "" {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no leader elected yet; retry shortly"})
+			return
+		}
+		w.Header().Set("Location", url+r.URL.RequestURI())
+		writeJSON(w, http.StatusMisdirectedRequest, redirectResponse{Error: "not the leader", Leader: nl.LeaderID, URL: url})
+	case errors.Is(err, replica.ErrConfChangeInFlight), errors.Is(err, replica.ErrLearnerLagging):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case errors.Is(err, replica.ErrUnknownMember):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, replica.ErrNoQuorum), errors.Is(err, replica.ErrNotReady), errors.Is(err, replica.ErrStopped):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
 // proposeRecord is the unsharded scheduler's commit hook under
 // replication: the record is committed by quorum instead of a local
 // fsync alone (the local append inside Propose still honors the fsync
@@ -239,7 +356,7 @@ func (s *Server) replicaWriteGate(w http.ResponseWriter, r *http.Request) bool {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "leader not ready; retry shortly"})
 		return false
 	default:
-		url := s.replPeers[st.Leader]
+		url := s.leaderBaseURL(n, st.Leader)
 		if url == "" {
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no leader elected yet; retry shortly"})
@@ -253,6 +370,19 @@ func (s *Server) replicaWriteGate(w http.ResponseWriter, r *http.Request) bool {
 		})
 		return false
 	}
+}
+
+// leaderBaseURL resolves the leader's base URL for redirects: the
+// static bootstrap peer map first, then the committed membership's
+// advertised address (members added at runtime are only known there).
+func (s *Server) leaderBaseURL(n *replica.Node, leaderID string) string {
+	if leaderID == "" {
+		return ""
+	}
+	if url := s.replPeers[leaderID]; url != "" {
+		return url
+	}
+	return strings.TrimSuffix(n.MemberAddr(leaderID), "/")
 }
 
 // redirectResponse is the 421 body a follower answers writes with.
@@ -279,7 +409,11 @@ func (s *Server) replicationHealth() *replicationHealth {
 		return nil
 	}
 	st := n.Status()
-	return &replicationHealth{Status: st, LeaderURL: peers[st.Leader]}
+	url := peers[st.Leader]
+	if url == "" {
+		url = s.leaderBaseURL(n, st.Leader)
+	}
+	return &replicationHealth{Status: st, LeaderURL: url}
 }
 
 // --- unsharded state machine ---

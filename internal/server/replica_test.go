@@ -473,3 +473,161 @@ func TestReplicatedShardFailover(t *testing.T) {
 		}
 	}
 }
+
+// bootJoin starts a brand-new node (fresh ID, fresh journal, empty
+// membership) in Join mode behind its own stable URL and registers it
+// with the cluster for later crash/boot cycles.
+func (c *replTestCluster) bootJoin(id string) *replTestNode {
+	c.t.Helper()
+	n := &replTestNode{id: id, idx: len(c.ids), dir: c.t.TempDir(), swap: newSwapHandler()}
+	n.ts = httptest.NewServer(n.swap)
+	c.t.Cleanup(n.ts.Close)
+	c.nodes[id] = n
+	c.ids = append(c.ids, id)
+
+	srv := New(testNet(c.t), core.WithRandSeed(5))
+	if err := srv.EnableReplication(ReplicationConfig{
+		NodeID:          id,
+		Peers:           map[string]string{id: n.ts.URL},
+		Dir:             n.dir,
+		Journal:         journal.Options{Fsync: journal.SyncAlways},
+		SnapshotEvery:   c.snapEvery,
+		Heartbeat:       10 * time.Millisecond,
+		ElectionTimeout: 150 * time.Millisecond,
+		Seed:            int64(n.idx + 1),
+		Join:            true,
+	}); err != nil {
+		c.t.Fatalf("EnableReplication(join %s): %v", id, err)
+	}
+	n.srv = srv
+	n.swap.set(srv.Handler())
+	return n
+}
+
+// getMembers fetches GET /repl/members from one node.
+func getMembers(t *testing.T, base string) membersResponse {
+	t.Helper()
+	resp, b := do(t, http.MethodGet, base+"/repl/members", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /repl/members: %d %s", resp.StatusCode, b)
+	}
+	var m membersResponse
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("decode members: %v (%s)", err, b)
+	}
+	return m
+}
+
+// TestReplicatedMembershipJoinAndRemove drives a live membership cycle
+// end to end over HTTP: a fresh node joins through POST /repl/members,
+// catches up, is auto-promoted to voter, serves identical state; then a
+// dead original member is removed and the cluster keeps writing.
+func TestReplicatedMembershipJoinAndRemove(t *testing.T) {
+	c := startReplCluster(t, false, 0)
+	leader := c.waitLeader(t)
+
+	for i := 0; i < 3; i++ {
+		resp, b := c.postLeader(t, leader, "/apps", appJSON(fmt.Sprintf("m-%d", i), "best-effort", `, "priority": 1`))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit m-%d: %d %s", i, resp.StatusCode, b)
+		}
+	}
+
+	// A write-shaped request to the members route on a follower answers
+	// the standard 421 redirect contract.
+	leaderID := leader.srv.Replica().Status().ID
+	for _, id := range c.ids {
+		if id == leaderID {
+			continue
+		}
+		resp, b := do(t, http.MethodPost, c.nodes[id].ts.URL+"/repl/members", `{"action":"add","id":"n3","url":"http://unused"}`)
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Fatalf("follower member change: %d %s", resp.StatusCode, b)
+		}
+		if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, leader.ts.URL) {
+			t.Fatalf("Location = %q, want prefix %s", loc, leader.ts.URL)
+		}
+		break
+	}
+
+	// Join a fresh fourth node through the admin route.
+	joiner := c.bootJoin("n3")
+	resp, b := c.postLeader(t, leader, "/repl/members", fmt.Sprintf(`{"action":"add","id":"n3","url":%q}`, joiner.ts.URL))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add n3: %d %s", resp.StatusCode, b)
+	}
+	// The leader streams it the log and auto-promotes it once caught up.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		m := getMembers(t, leader.ts.URL)
+		var voter bool
+		for _, mem := range m.Members {
+			if mem.ID == "n3" && mem.Voter {
+				voter = true
+			}
+		}
+		if voter {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n3 never promoted: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.waitConverged(t)
+	want := getApps(t, leader.ts.URL)
+	if got := getApps(t, joiner.ts.URL); got != want {
+		t.Fatalf("joined node diverged\nleader: %s\njoiner: %s", want, got)
+	}
+	// The joiner's /healthz mirrors the 4-member configuration.
+	hresp, hb := do(t, http.MethodGet, joiner.ts.URL+"/healthz", "")
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("joiner healthz: %d %s", hresp.StatusCode, hb)
+	}
+	var hz struct {
+		Replication *replicationHealth `json:"replication"`
+	}
+	if err := json.Unmarshal(hb, &hz); err != nil || hz.Replication == nil {
+		t.Fatalf("joiner healthz replication: %v (%s)", err, hb)
+	}
+	if len(hz.Replication.Members) != 4 || !hz.Replication.Voter {
+		t.Fatalf("joiner healthz members = %+v", hz.Replication)
+	}
+
+	// Kill one ORIGINAL node and remove it; the 3 survivors (2 original +
+	// the joiner) keep a quorum and keep accepting writes.
+	var dead string
+	for _, id := range []string{"n0", "n1", "n2"} {
+		if id != leaderID {
+			dead = id
+			break
+		}
+	}
+	c.crash(dead)
+	resp, b = c.postLeader(t, leader, "/repl/members", fmt.Sprintf(`{"action":"remove","id":%q}`, dead))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove %s: %d %s", dead, resp.StatusCode, b)
+	}
+	for {
+		m := getMembers(t, leader.ts.URL)
+		if len(m.Members) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never removed: %+v", dead, m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Removing an unknown member is a 404.
+	if resp, b := c.postLeader(t, leader, "/repl/members", `{"action":"remove","id":"ghost"}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove ghost: %d %s", resp.StatusCode, b)
+	}
+	resp, b = c.postLeader(t, leader, "/apps", appJSON("post-remove", "best-effort", `, "priority": 1`))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-remove submit: %d %s", resp.StatusCode, b)
+	}
+	c.waitConverged(t)
+	if got := getApps(t, joiner.ts.URL); !strings.Contains(got, "post-remove") {
+		t.Fatalf("joiner missing post-remove write: %s", got)
+	}
+}

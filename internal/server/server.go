@@ -148,8 +148,11 @@ func (s *Server) Handler() http.Handler {
 	// Replication RPCs (append, vote, snapshot install) between peers.
 	// Mounted unconditionally and dispatched lazily: peer URLs are only
 	// known once every listener is bound, so EnableReplication runs after
-	// Handler during cluster bootstrap.
+	// Handler during cluster bootstrap. The membership admin routes are
+	// more specific than the RPC prefix, so they win dispatch (replica.go).
 	mux.HandleFunc("POST /repl/", s.handleRepl)
+	mux.HandleFunc("GET /repl/members", s.handleMembersGet)
+	mux.HandleFunc("POST /repl/members", s.handleMembersChange)
 	return s.middleware(mux)
 }
 

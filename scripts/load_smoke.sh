@@ -131,7 +131,9 @@ python3 - "$addr" "$work/BENCH_serve.json" <<'EOF'
 import json, sys, urllib.request
 hz = json.load(urllib.request.urlopen(f"http://{sys.argv[1]}/healthz"))
 gc = hz.get("groupCommit")
-assert gc and gc["groups"] > 0 and gc["apps"] >= gc["groups"], f"no group activity: {gc}"
+# Removes/repairs ride the queue as single-op groups, so groups can
+# legitimately exceed apps under keep-eviction churn.
+assert gc and gc["groups"] > 0 and gc["apps"] > 0, f"no group activity: {gc}"
 doc = json.load(open(sys.argv[2]))
 ladder = doc["ladder"]
 assert len(ladder) == 4, f"want 4 ladder entries (2 open-loop + 2 sweep), got {len(ladder)}"

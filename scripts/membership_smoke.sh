@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# Black-box membership-churn smoke test: boot a 3-node replicated
+# cluster, write through the leader, SIGKILL a follower, live-join a
+# replacement node under a FRESH ID (-join: it self-registers, catches
+# up as a learner, and is promoted to voter), remove the dead member via
+# POST /repl/members, and require quorum-acked writes to succeed at
+# every step and the final membership/app state to converge.
+set -euo pipefail
+
+work=$(mktemp -d)
+pids=()
+trap 'kill -9 "${pids[@]}" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/sparcle" ./cmd/sparcle
+go build -o "$work/sparcle-server" ./cmd/sparcle-server
+"$work/sparcle" -example > "$work/scenario.json"
+
+# Ports must be known before any node starts (the -peers map is fixed),
+# so probe for free ones instead of binding :0.
+find_port() {
+    local p
+    while :; do
+        p=$((10000 + RANDOM % 50000))
+        if ! (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+            echo "$p"
+            return
+        fi
+        exec 3>&- || true
+    done
+}
+p0=$(find_port); p1=$(find_port); p2=$(find_port); p3=$(find_port)
+peers="n0=http://127.0.0.1:$p0,n1=http://127.0.0.1:$p1,n2=http://127.0.0.1:$p2"
+ports=("$p0" "$p1" "$p2")
+
+start_node() { # args: index; appends to $pids
+    local i=$1
+    "$work/sparcle-server" -f "$work/scenario.json" -addr "127.0.0.1:${ports[$i]}" \
+        -journal "$work/journal-n$i" -replicate "n$i" -peers "$peers" \
+        -repl-heartbeat 25ms -seed 7 >> "$work/n$i.log" 2>&1 &
+    pids+=($!)
+    disown $!
+}
+
+healthz() { curl -fsS --max-time 2 "http://127.0.0.1:$1/healthz" 2>/dev/null || true; }
+
+# wait_leader [excluded-port] -> sets $leader_port; scans $ports plus $p3
+wait_leader() {
+    local skip="${1:-}"
+    leader_port=""
+    for _ in $(seq 1 200); do
+        for p in "${ports[@]}" "$p3"; do
+            [ "$p" = "$skip" ] && continue
+            if healthz "$p" | grep -q '"role":"leader","term":[0-9]*,.*"ready":true'; then
+                leader_port=$p
+                return
+            fi
+        done
+        sleep 0.1
+    done
+    echo "FAIL: no ready leader elected"
+    for p in "${ports[@]}" "$p3"; do healthz "$p"; echo; done
+    exit 1
+}
+
+submit() { # args: port name; retries 503s while membership churns
+    local p=$1 name=$2 code
+    for _ in $(seq 1 50); do
+        code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://127.0.0.1:$p/apps" -d '{
+            "name": "'"$name"'",
+            "cts": [{"name": "s", "host": "ncp1"}, {"name": "t", "host": "cloud"}],
+            "tts": [{"from": "s", "to": "t", "bits": 8}],
+            "qos": {"class": "best-effort", "priority": 1, "maxPaths": 2}
+        }')
+        [ "$code" = "201" ] && return
+        sleep 0.1
+    done
+    echo "FAIL: submit $name to :$p never got 201 (last: $code)"
+    exit 1
+}
+
+members() { curl -fsS --max-time 2 "http://127.0.0.1:$1/repl/members" 2>/dev/null || true; }
+
+# change_members port json: POST a membership change, retrying 409/503
+# (one change at a time; elections) and re-pointing at the leader on 421.
+change_members() {
+    local p=$1 body=$2 code
+    for _ in $(seq 1 100); do
+        code=$(curl -s -o "$work/members-resp.json" -w '%{http_code}' \
+            -X POST "http://127.0.0.1:$p/repl/members" -d "$body")
+        case "$code" in
+        200) return ;;
+        421)
+            local url
+            url=$(grep -o '"leaderUrl":"[^"]*"' "$work/members-resp.json" | cut -d'"' -f4)
+            [ -n "$url" ] && p="${url##*:}" && p="${p%/}"
+            ;;
+        esac
+        sleep 0.1
+    done
+    echo "FAIL: membership change $body never got 200 (last: $code)"
+    cat "$work/members-resp.json"
+    exit 1
+}
+
+echo "== boot the 3-node cluster"
+start_node 0; start_node 1; start_node 2
+wait_leader
+echo "   leader on :$leader_port"
+
+echo "== write through the leader"
+for i in $(seq 0 3); do submit "$leader_port" "pre-$i"; done
+
+echo "== SIGKILL a follower"
+killed_id=""; killed_port=""
+for j in 0 1 2; do
+    if [ "${ports[$j]}" != "$leader_port" ]; then
+        killed_id="n$j"; killed_port="${ports[$j]}"
+        kill -9 "${pids[$j]}"
+        break
+    fi
+done
+echo "   killed $killed_id on :$killed_port"
+
+echo "== writes must still reach quorum with one member down"
+for i in $(seq 0 1); do submit "$leader_port" "down-$i"; done
+
+echo "== live-join a replacement under a fresh ID (n3)"
+"$work/sparcle-server" -f "$work/scenario.json" -addr "127.0.0.1:$p3" \
+    -journal "$work/journal-n3" -replicate "n3" -peers "n3=http://127.0.0.1:$p3" \
+    -join "http://127.0.0.1:$leader_port" \
+    -repl-heartbeat 25ms -seed 7 >> "$work/n3.log" 2>&1 &
+pids+=($!)
+disown $!
+
+echo "== wait for n3 to catch up and be promoted to voter"
+ok=""
+for _ in $(seq 1 300); do
+    if members "$leader_port" | grep -q '"id":"n3","addr":[^,]*,"voter":true'; then ok=1; break; fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "FAIL: n3 never became a voter"; members "$leader_port"; echo; cat "$work/n3.log"; exit 1; }
+
+echo "== remove the dead member"
+change_members "$leader_port" '{"action":"remove","id":"'"$killed_id"'"}'
+ok=""
+for _ in $(seq 1 100); do
+    if ! members "$leader_port" | grep -q '"id":"'"$killed_id"'"'; then ok=1; break; fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "FAIL: $killed_id still in membership"; members "$leader_port"; exit 1; }
+
+echo "== writes must succeed on the reshaped cluster"
+wait_leader "$killed_port"
+for i in $(seq 0 2); do submit "$leader_port" "post-$i"; done
+
+echo "== the joined node converges byte-identical with every acked admission"
+ok=""
+for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:$leader_port/apps" > "$work/leader.json"
+    curl -fsS "http://127.0.0.1:$p3/apps" > "$work/joiner.json" 2>/dev/null || { sleep 0.1; continue; }
+    if cmp -s "$work/leader.json" "$work/joiner.json"; then ok=1; break; fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "FAIL: joiner never converged"; diff -u "$work/leader.json" "$work/joiner.json" || true; exit 1; }
+for i in $(seq 0 3); do grep -q "pre-$i" "$work/leader.json" || { echo "FAIL: acked app pre-$i lost"; exit 1; }; done
+for i in $(seq 0 1); do grep -q "down-$i" "$work/leader.json" || { echo "FAIL: acked app down-$i lost"; exit 1; }; done
+for i in $(seq 0 2); do grep -q "post-$i" "$work/leader.json" || { echo "FAIL: post-churn app post-$i lost"; exit 1; }; done
+echo "PASS: member replaced live; all acked admissions kept; joiner byte-identical ($(wc -c < "$work/leader.json") bytes)"
